@@ -1,0 +1,26 @@
+//! The backend server model: a key-value server with realistic service
+//! behaviour.
+//!
+//! The paper's testbed runs memcached pods whose request-processing
+//! latency varies at 100 µs–1 ms time scales due to scheduling noise,
+//! background work, and injected delay. This crate reproduces those
+//! phenomena in the simulator:
+//!
+//! * [`service::ServiceDist`] — per-request service-time distributions
+//!   (constant, exponential, log-normal, bimodal),
+//! * [`service::ServiceModel`] — a bounded pool of workers with FIFO
+//!   queueing and an optional background *interference* process (periodic
+//!   pauses modeling GC/preemption, §2.2 of the paper),
+//! * a step [`service::DelaySchedule`] for scripted latency injection
+//!   ("add 1 ms from t = 100 s", the Fig. 3 event),
+//! * [`server::KvServerApp`] — the [`nettcp::App`] gluing it to the
+//!   transport and the key-value wire protocol.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod server;
+pub mod service;
+
+pub use server::{KvServerApp, KvServerConfig, KvServerStats, OobAgent};
+pub use service::{DelaySchedule, InterferenceConfig, ServiceDist, ServiceModel};

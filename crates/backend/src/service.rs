@@ -1,0 +1,303 @@
+//! Service-time modeling: distributions, worker pool, interference, and
+//! scripted delay injection.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Nanoseconds alias (matches `lbcore::Nanos`).
+pub type Nanos = u64;
+
+/// A per-request service-time distribution.
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceDist {
+    /// Every request takes exactly this long.
+    Constant(Nanos),
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean service time.
+        mean: Nanos,
+    },
+    /// Log-normal parameterized by its median and the σ of the underlying
+    /// normal — the classic heavy-ish-tailed service-time model.
+    LogNormal {
+        /// Median service time (e^µ).
+        median: Nanos,
+        /// Shape parameter σ.
+        sigma: f64,
+    },
+    /// A fast path taken with probability `1 - slow_prob` and a slow path
+    /// (cache miss, lock contention) otherwise.
+    Bimodal {
+        /// Fast-path service time.
+        fast: Nanos,
+        /// Slow-path service time.
+        slow: Nanos,
+        /// Probability of the slow path (0..1).
+        slow_prob: f64,
+    },
+}
+
+impl ServiceDist {
+    /// Draws one service time.
+    pub fn sample(&self, rng: &mut StdRng) -> Nanos {
+        match *self {
+            ServiceDist::Constant(ns) => ns,
+            ServiceDist::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-(u.ln()) * mean as f64) as Nanos
+            }
+            ServiceDist::LogNormal { median, sigma } => {
+                // Box-Muller for a standard normal.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                ((median as f64) * (sigma * z).exp()) as Nanos
+            }
+            ServiceDist::Bimodal { fast, slow, slow_prob } => {
+                if rng.gen_bool(slow_prob.clamp(0.0, 1.0)) {
+                    slow
+                } else {
+                    fast
+                }
+            }
+        }
+    }
+
+    /// The distribution's mean (analytic; used for sanity checks).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            ServiceDist::Constant(ns) => ns as f64,
+            ServiceDist::Exponential { mean } => mean as f64,
+            ServiceDist::LogNormal { median, sigma } => median as f64 * (sigma * sigma / 2.0).exp(),
+            ServiceDist::Bimodal { fast, slow, slow_prob } => {
+                fast as f64 * (1.0 - slow_prob) + slow as f64 * slow_prob
+            }
+        }
+    }
+}
+
+/// Background interference: every ~`interval`, the server stalls for
+/// ~`pause` (garbage collection, compaction, preemption — §2.2).
+#[derive(Debug, Clone, Copy)]
+pub struct InterferenceConfig {
+    /// Mean time between pauses (exponentially distributed).
+    pub mean_interval: Nanos,
+    /// Pause duration distribution.
+    pub pause: ServiceDist,
+}
+
+/// A step schedule of extra per-request delay: `(from, extra)` pairs,
+/// sorted by `from`; the extra delay in force at time `t` is that of the
+/// last step at or before `t`.
+#[derive(Debug, Clone, Default)]
+pub struct DelaySchedule {
+    steps: Vec<(Nanos, Nanos)>,
+}
+
+impl DelaySchedule {
+    /// No injected delay, ever.
+    pub fn none() -> DelaySchedule {
+        DelaySchedule::default()
+    }
+
+    /// A single step: add `extra` to every request from `from` onward —
+    /// the paper's "inject 1 ms at t = 100 s".
+    pub fn step(from: Nanos, extra: Nanos) -> DelaySchedule {
+        DelaySchedule { steps: vec![(from, extra)] }
+    }
+
+    /// Adds a step; `from` values must be non-decreasing.
+    pub fn push(&mut self, from: Nanos, extra: Nanos) {
+        if let Some(&(last, _)) = self.steps.last() {
+            assert!(from >= last, "steps must be time-ordered");
+        }
+        self.steps.push((from, extra));
+    }
+
+    /// The extra delay in force at `now`.
+    pub fn extra_at(&self, now: Nanos) -> Nanos {
+        match self.steps.binary_search_by_key(&now, |&(t, _)| t) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => 0,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+}
+
+/// A pool of `workers` identical workers with FIFO assignment (a request
+/// goes to the earliest-free worker), plus interference pauses and the
+/// delay schedule. Produces completion times for requests.
+#[derive(Debug, Clone)]
+pub struct ServiceModel {
+    dist: ServiceDist,
+    workers: Vec<Nanos>,
+    /// Requests cannot *start* before this instant (interference pause).
+    pause_until: Nanos,
+    schedule: DelaySchedule,
+}
+
+impl ServiceModel {
+    /// Creates the model.
+    pub fn new(dist: ServiceDist, workers: usize, schedule: DelaySchedule) -> ServiceModel {
+        assert!(workers > 0, "at least one worker");
+        ServiceModel { dist, workers: vec![0; workers], pause_until: 0, schedule }
+    }
+
+    /// Admits a request at `now`; returns its completion time.
+    pub fn admit(&mut self, now: Nanos, rng: &mut StdRng) -> Nanos {
+        let service = self.dist.sample(rng);
+        let extra = self.schedule.extra_at(now);
+        // Earliest-free worker.
+        let (w, &free_at) = self
+            .workers
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &t)| t)
+            .expect("non-empty worker pool");
+        let start = now.max(free_at).max(self.pause_until);
+        let done = start + service + extra;
+        self.workers[w] = done;
+        done
+    }
+
+    /// Begins an interference pause of `len` at `now`: nothing new starts
+    /// before `now + len`. (In-flight requests are unaffected — the model
+    /// errs on the gentle side; queued work still feels the stall.)
+    pub fn begin_pause(&mut self, now: Nanos, len: Nanos) {
+        self.pause_until = self.pause_until.max(now + len);
+    }
+
+    /// The number of workers still busy at `now` (the model tracks each
+    /// worker's drain time, not individual queued requests).
+    pub fn busy_workers(&self, now: Nanos) -> usize {
+        self.workers.iter().filter(|&&t| t > now).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    const MS: Nanos = 1_000_000;
+    const US: Nanos = 1_000;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let d = ServiceDist::Constant(100 * US);
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 100 * US);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_close() {
+        let d = ServiceDist::Exponential { mean: 200 * US };
+        let mut r = rng();
+        let n = 20_000;
+        let total: u128 = (0..n).map(|_| d.sample(&mut r) as u128).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean / (200.0 * US as f64) - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_close() {
+        let d = ServiceDist::LogNormal { median: 100 * US, sigma: 0.5 };
+        let mut r = rng();
+        let mut v: Vec<Nanos> = (0..20_001).map(|_| d.sample(&mut r)).collect();
+        v.sort_unstable();
+        let median = v[v.len() / 2] as f64;
+        assert!((median / (100.0 * US as f64) - 1.0).abs() < 0.05, "median {median}");
+        // And it has a tail: p99 well above the median.
+        let p99 = v[(v.len() * 99) / 100] as f64;
+        assert!(p99 > 2.0 * median);
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let d = ServiceDist::Bimodal { fast: 50 * US, slow: MS, slow_prob: 0.1 };
+        let mut r = rng();
+        let samples: Vec<Nanos> = (0..10_000).map(|_| d.sample(&mut r)).collect();
+        let slow = samples.iter().filter(|&&s| s == MS).count() as f64 / samples.len() as f64;
+        assert!((slow - 0.1).abs() < 0.02, "slow fraction {slow}");
+        assert!((d.mean() - (0.9 * 50.0 * US as f64 + 0.1 * MS as f64)).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_worker_queues_fifo() {
+        let mut m = ServiceModel::new(ServiceDist::Constant(100 * US), 1, DelaySchedule::none());
+        let mut r = rng();
+        let d1 = m.admit(0, &mut r);
+        let d2 = m.admit(0, &mut r);
+        let d3 = m.admit(0, &mut r);
+        assert_eq!(d1, 100 * US);
+        assert_eq!(d2, 200 * US);
+        assert_eq!(d3, 300 * US);
+        assert_eq!(m.busy_workers(50 * US), 1);
+        assert_eq!(m.busy_workers(250 * US), 1);
+        assert_eq!(m.busy_workers(400 * US), 0);
+    }
+
+    #[test]
+    fn multiple_workers_parallelize() {
+        let mut m = ServiceModel::new(ServiceDist::Constant(100 * US), 2, DelaySchedule::none());
+        let mut r = rng();
+        assert_eq!(m.admit(0, &mut r), 100 * US);
+        assert_eq!(m.admit(0, &mut r), 100 * US);
+        assert_eq!(m.admit(0, &mut r), 200 * US);
+    }
+
+    #[test]
+    fn idle_worker_starts_immediately() {
+        let mut m = ServiceModel::new(ServiceDist::Constant(100 * US), 1, DelaySchedule::none());
+        let mut r = rng();
+        let _ = m.admit(0, &mut r);
+        // Long after the first finished: no queueing.
+        assert_eq!(m.admit(MS, &mut r), MS + 100 * US);
+    }
+
+    #[test]
+    fn delay_schedule_steps() {
+        let mut s = DelaySchedule::none();
+        assert_eq!(s.extra_at(0), 0);
+        s.push(100 * MS, MS);
+        s.push(200 * MS, 0);
+        assert_eq!(s.extra_at(50 * MS), 0);
+        assert_eq!(s.extra_at(100 * MS), MS);
+        assert_eq!(s.extra_at(150 * MS), MS);
+        assert_eq!(s.extra_at(250 * MS), 0);
+    }
+
+    #[test]
+    fn injection_inflates_completions() {
+        let sched = DelaySchedule::step(10 * MS, MS);
+        let mut m = ServiceModel::new(ServiceDist::Constant(100 * US), 1, sched);
+        let mut r = rng();
+        assert_eq!(m.admit(0, &mut r), 100 * US);
+        assert_eq!(m.admit(20 * MS, &mut r), 20 * MS + 100 * US + MS);
+    }
+
+    #[test]
+    fn pause_blocks_new_starts() {
+        let mut m = ServiceModel::new(ServiceDist::Constant(100 * US), 1, DelaySchedule::none());
+        let mut r = rng();
+        m.begin_pause(0, MS);
+        assert_eq!(m.admit(500 * US, &mut r), MS + 100 * US);
+        // Pauses do not shorten: overlapping pause keeps the later end.
+        m.begin_pause(MS, 500 * US);
+        m.begin_pause(MS, 100 * US);
+        assert_eq!(m.admit(MS, &mut r), MS + 500 * US + 100 * US);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn unordered_schedule_rejected() {
+        let mut s = DelaySchedule::step(100, 5);
+        s.push(50, 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! BENCH-PKT / BENCH-MAGLEV: per-packet cost of the in-band measurement
+//! machinery and the Maglev table, establishing that in-band feedback
+//! control is feasible at LB packet rates (the paper's premise that LBs
+//! must stay "low touch").
+
+use std::net::Ipv4Addr;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use lbcore::{
+    BackendEstimator, EnsembleConfig, EnsembleTimeout, FixedTimeout, FlowTable, FlowTiming,
+    MaglevTable,
+};
+use netpkt::flow::splitmix64;
+use netpkt::{FlowKey, MacAddr, Packet, TcpFlags, TcpHeader};
+
+fn flow_key(i: u64) -> FlowKey {
+    FlowKey::new(
+        Ipv4Addr::new(10, 0, (i >> 8) as u8, i as u8),
+        40_000 + (i % 20_000) as u16,
+        Ipv4Addr::new(10, 99, 0, 1),
+        11211,
+    )
+}
+
+fn sample_packet() -> Packet {
+    Packet::build_tcp(
+        MacAddr::from_id(1),
+        MacAddr::from_id(2),
+        Ipv4Addr::new(10, 0, 0, 1),
+        Ipv4Addr::new(10, 99, 0, 1),
+        &TcpHeader {
+            src_port: 40_000,
+            dst_port: 11211,
+            seq: 1,
+            ack: 2,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 8192,
+        },
+        &[0u8; 64],
+        64,
+        7,
+    )
+}
+
+/// Algorithm 1: one packet through FIXEDTIMEOUT.
+fn bench_fixed_timeout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alg1_fixed_timeout");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("on_packet", |b| {
+        let alg = FixedTimeout::new(64_000);
+        let mut state = FlowTiming::first_packet(0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 100_000;
+            black_box(alg.on_packet(&mut state, black_box(now)))
+        });
+    });
+    g.finish();
+}
+
+/// Algorithm 2: one packet through the full k=7 ensemble.
+fn bench_ensemble(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alg2_ensemble");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("on_packet_k7", |b| {
+        let mut ens = EnsembleTimeout::new(EnsembleConfig::default());
+        let mut state = ens.new_flow(0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 300_000;
+            black_box(ens.on_packet(&mut state, black_box(now)))
+        });
+    });
+    g.finish();
+}
+
+/// Maglev: table construction at several sizes, and lookups.
+fn bench_maglev(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maglev");
+    for &size in &[251usize, 1021, 4093, 65537] {
+        g.bench_with_input(BenchmarkId::new("build_2_backends", size), &size, |b, &size| {
+            b.iter(|| black_box(MaglevTable::build_equal(black_box(2), size)));
+        });
+    }
+    g.bench_function("build_weighted_16_backends_4093", |b| {
+        let weights: Vec<f64> = (1..=16).map(|i| i as f64).collect();
+        b.iter(|| black_box(MaglevTable::build(black_box(&weights), 4093)));
+    });
+    let table = MaglevTable::build_equal(16, 65537);
+    let mut h = 0u64;
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("lookup", |b| {
+        b.iter(|| {
+            h = splitmix64(h);
+            black_box(table.lookup(black_box(h)))
+        });
+    });
+    g.finish();
+}
+
+/// Flow-table hit and miss+insert paths.
+fn bench_flow_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flow_table");
+    g.throughput(Throughput::Elements(1));
+
+    g.bench_function("hit", |b| {
+        let mut table = FlowTable::new(5_000_000_000);
+        let ens = EnsembleTimeout::new(EnsembleConfig::default());
+        for i in 0..10_000 {
+            table.insert(flow_key(i), (i % 4) as usize, ens.new_flow(0), 0);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            black_box(table.get_mut(&flow_key(i)).is_some())
+        });
+    });
+
+    g.bench_function("full_packet_path", |b| {
+        // The complete per-packet LB pipeline on an established flow:
+        // fast parse → table hit → ensemble → estimator.
+        let pkt = sample_packet();
+        let mut table = FlowTable::new(5_000_000_000);
+        let mut ens = EnsembleTimeout::new(EnsembleConfig::default());
+        let mut est = BackendEstimator::new(2, 0.2, u64::MAX);
+        let key = FlowKey::parse(&pkt.data).unwrap();
+        table.insert(key, 0, ens.new_flow(0), 0);
+        let mut now = 0u64;
+        b.iter(|| {
+            now += 250_000;
+            let (key, _flags) = FlowKey::parse_with_flags(black_box(&pkt.data)).unwrap();
+            let entry = table.get_mut(&key).unwrap();
+            entry.last_seen = now;
+            if let Some(t_lb) = ens.on_packet(&mut entry.timing, now) {
+                est.record(entry.backend, t_lb, now);
+            }
+            black_box(entry.backend)
+        });
+    });
+    g.finish();
+}
+
+/// Packet operations: parse with checksum verification, fast-path parse,
+/// and the DSR L2 rewrite.
+fn bench_packet_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("packet");
+    g.throughput(Throughput::Elements(1));
+    let pkt = sample_packet();
+    g.bench_function("full_parse_verify", |b| {
+        b.iter(|| black_box(pkt.view().unwrap()));
+    });
+    g.bench_function("fast_parse_4tuple", |b| {
+        b.iter(|| black_box(FlowKey::parse_with_flags(&pkt.data).unwrap()));
+    });
+    g.bench_function("dsr_mac_rewrite", |b| {
+        b.iter(|| black_box(pkt.with_macs(MacAddr::from_id(9), MacAddr::from_id(10))));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fixed_timeout,
+    bench_ensemble,
+    bench_maglev,
+    bench_flow_table,
+    bench_packet_ops
+);
+criterion_main!(benches);

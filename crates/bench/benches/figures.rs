@@ -1,0 +1,54 @@
+//! `cargo bench` entry point that regenerates every figure of the paper's
+//! evaluation at a reduced (but shape-preserving) scale, printing the same
+//! rows/series the paper plots. For the full timelines use the dedicated
+//! binaries (`cargo run -p bench --release --bin fig2a|fig2b|fig3`).
+
+use experiments::fig2::{fig2a_table, fig2b_table, run_fig2a, run_fig2b, Fig2Config};
+use experiments::fig3::{fig3_summary_table, fig3_table, run_fig3, Fig3Config};
+use netsim::Duration;
+
+fn main() {
+    // cargo passes `--bench` (and possibly filters); a "--quick-skip"
+    // escape hatch is honored for CI-style smoke runs.
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--quick-skip") {
+        println!("figures: skipped (--quick-skip)");
+        return;
+    }
+
+    println!("=== regenerating the paper's figures (scaled timelines) ===\n");
+
+    // Fig. 2(a): 3 s run, RTT step at t = 1.5 s.
+    let fig2_cfg = Fig2Config {
+        duration: Duration::from_secs(3),
+        step_at: Duration::from_millis(1500),
+        ..Fig2Config::default()
+    };
+    let t0 = std::time::Instant::now();
+    let r2a = run_fig2a(&fig2_cfg);
+    fig2a_table(&r2a).print();
+    println!(
+        "fig2a: pre-step d=64us median rel err {:.2}, post-step d=1024us median rel err {:.3}  [{:?}]\n",
+        r2a.pre_step.0.median_rel_err,
+        r2a.post_step.1.median_rel_err,
+        t0.elapsed()
+    );
+
+    // Fig. 2(b): same trace through the ensemble.
+    let t0 = std::time::Instant::now();
+    let r2b = run_fig2b(&fig2_cfg);
+    fig2b_table(&r2b).print();
+    println!(
+        "fig2b: post-step median rel err {:.3}  [{:?}]\n",
+        r2b.post_step.median_rel_err,
+        t0.elapsed()
+    );
+
+    // Fig. 3: the 12 s quick timeline (injection at t = 4 s).
+    let t0 = std::time::Instant::now();
+    let r3 = run_fig3(&Fig3Config::quick());
+    fig3_table(&r3).print();
+    println!();
+    fig3_summary_table(&r3).print();
+    println!("fig3 [{:?}]", t0.elapsed());
+}

@@ -1,0 +1,79 @@
+//! Runs the ablation suite.
+//!
+//! Usage: `cargo run -p bench --release --bin ablations [which]`
+//! where `which` ∈ {epoch, k, alpha, timing, controllers, herd, all}
+//! (default: all).
+
+use experiments::ablations;
+use experiments::fig2::Fig2Config;
+use experiments::fig3::Fig3Config;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("all");
+    let fig2 = Fig2Config::default();
+    let fig3 = Fig3Config::default();
+
+    let run_epoch = || ablations::epoch_sweep(&fig2, &[8, 16, 32, 64, 128, 256, 512]).print();
+    let run_k = || ablations::k_sweep(&fig2, &[2, 3, 4, 5, 6, 7, 8, 9]).print();
+    let run_alpha = || ablations::alpha_sweep(&fig3, &[0.02, 0.05, 0.10, 0.20, 0.50]).print();
+    let run_timing = || ablations::timing_violations(&fig2).print();
+    let run_ctl = || ablations::controller_comparison(&fig3).print();
+    let run_herd = || ablations::herd_model(&[1, 2, 4, 8]).print();
+    let run_cliff = || ablations::cliff_rule_comparison(&fig3).print();
+    let run_margin = || ablations::margin_sweep(&fig3, &[0.0, 0.05, 0.10, 0.25, 0.50, 1.0]).print();
+    let run_far = || ablations::far_clients(&fig3).print();
+    let run_congestion = || ablations::congestion(&fig3).print();
+    let run_pcc = || ablations::pcc(&fig3).print();
+    let run_failover = || ablations::failover(&fig3).print();
+    let run_oob = || ablations::oob_comparison(&fig3).print();
+
+    match which {
+        "epoch" => run_epoch(),
+        "k" => run_k(),
+        "alpha" => run_alpha(),
+        "margin" => run_margin(),
+        "far" => run_far(),
+        "congestion" => run_congestion(),
+        "pcc" => run_pcc(),
+        "failover" => run_failover(),
+        "oob" => run_oob(),
+        "timing" => run_timing(),
+        "controllers" => run_ctl(),
+        "herd" => run_herd(),
+        "cliff" => run_cliff(),
+        "all" => {
+            run_epoch();
+            println!();
+            run_k();
+            println!();
+            run_alpha();
+            println!();
+            run_margin();
+            println!();
+            run_timing();
+            println!();
+            run_ctl();
+            println!();
+            run_cliff();
+            println!();
+            run_far();
+            println!();
+            run_congestion();
+            println!();
+            run_pcc();
+            println!();
+            run_failover();
+            println!();
+            run_oob();
+            println!();
+            run_herd();
+        }
+        other => {
+            eprintln!(
+                "unknown ablation '{other}'; use epoch|k|alpha|margin|timing|controllers|cliff|far|congestion|pcc|failover|oob|herd|all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Regenerates Fig. 3: p95 GET latency over time for a two-backend
+//! key-value cluster with 1 ms injected at one backend, plain Maglev vs.
+//! the latency-aware LB.
+//!
+//! Usage: `cargo run -p bench --release --bin fig3 [--full] [--seed N] [--csv]`
+//!
+//! `--full` uses the paper's 200 s timeline (injection at t = 100 s);
+//! the default is a 60 s run with injection at t = 20 s.
+
+use experiments::fig3::{fig3_summary_table, fig3_table, run_fig3, Fig3Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut cfg = if bench::has_flag(&args, "--full") {
+        Fig3Config::full()
+    } else {
+        Fig3Config::default()
+    };
+    if let Some(seed) = bench::arg_value(&args, "--seed") {
+        cfg.seed = seed.parse().expect("--seed takes an integer");
+    }
+    let r = run_fig3(&cfg);
+    if bench::has_flag(&args, "--csv") {
+        print!("{}", fig3_table(&r).to_csv());
+    } else {
+        fig3_table(&r).print();
+        println!();
+        fig3_summary_table(&r).print();
+        println!();
+        println!(
+            "latency-aware LB: {} T_LB samples, first reaction {} after injection",
+            r.aware.lb_samples,
+            r.aware
+                .first_reaction
+                .map(|t| format!(
+                    "{:.2} ms",
+                    (t.saturating_sub((netsim::Time::ZERO + cfg.inject_at).as_nanos())) as f64 / 1e6
+                ))
+                .unwrap_or_else(|| "never".into()),
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Runs a scenario described by an INI-style config file and prints a
+//! Fig. 3-style latency summary.
+//!
+//! Usage: `cargo run --release -p bench --bin scenario -- path/to/file.conf`
+//!
+//! See `experiments::config` for the format; `examples/scenarios/` in the
+//! repository holds ready-made files.
+
+use experiments::config::{build_scenario, ScenarioFile};
+use telemetry::Table;
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: scenario <file.conf>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let file = match ScenarioFile::parse(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut sc = match build_scenario(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("running {} for {} ...", path, sc.duration);
+    sc.cluster.sim.run_for(sc.duration);
+
+    let rec = &sc.cluster.client_app(0).recorder;
+    let mut t = Table::new("scenario results", &["metric", "value"]);
+    t.row(&["requests completed".into(), rec.responses.to_string()]);
+    for q in [0.5, 0.95, 0.99] {
+        t.row(&[
+            format!("GET latency p{:.0} (us)", q * 100.0),
+            format!("{:.1}", rec.get_series.merged().quantile(q) as f64 / 1e3),
+        ]);
+    }
+    if let Some(at) = sc.inject_at {
+        let inject_ns = at.as_nanos();
+        let mut before = telemetry::LogHistogram::new();
+        let mut after = telemetry::LogHistogram::new();
+        let series = &rec.get_series;
+        for b in 0..series.len() {
+            let start = b as u64 * series.bin_width_ns();
+            if let Some(h) = series.bin(b) {
+                if start < inject_ns {
+                    before.merge(h);
+                } else {
+                    after.merge(h);
+                }
+            }
+        }
+        t.row(&["p95 before injection (us)".into(), format!("{:.1}", before.quantile(0.95) as f64 / 1e3)]);
+        t.row(&["p95 after injection (us)".into(), format!("{:.1}", after.quantile(0.95) as f64 / 1e3)]);
+    }
+    let lb = sc.cluster.lb_node();
+    t.row(&["T_LB samples at the LB".into(), lb.stats.samples.to_string()]);
+    t.row(&["Maglev table rebuilds".into(), lb.stats.table_rebuilds.to_string()]);
+    for (b, w) in lb.weights().as_slice().iter().enumerate() {
+        t.row(&[format!("final weight of backend {b}"), format!("{w:.3}")]);
+    }
+    t.print();
+}

@@ -1,0 +1,32 @@
+//! Benchmark and figure-regeneration crate.
+//!
+//! Binaries (run with `cargo run -p bench --release --bin <name>`):
+//!
+//! * `fig2a` — regenerates Fig. 2(a): `FIXEDTIMEOUT` vs. ground truth.
+//! * `fig2b` — regenerates Fig. 2(b): `ENSEMBLETIMEOUT` tracking.
+//! * `fig3` — regenerates Fig. 3: p95 GET latency, Maglev vs. aware.
+//! * `ablations` — runs the ablation suite (`epoch`, `k`, `alpha`,
+//!   `timing`, `controllers`, `herd`, or `all`).
+//!
+//! Criterion benches (run with `cargo bench`):
+//!
+//! * `fastpath` — per-packet cost of Algorithms 1/2, Maglev lookup and
+//!   build, flow-table ops (BENCH-PKT / BENCH-MAGLEV).
+//! * `figures` — scaled-down versions of every figure experiment, printed
+//!   as tables, so `cargo bench` regenerates the paper's evaluation
+//!   end to end.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// Parses `--seed N` style overrides shared by the binaries.
+pub fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// True if the flag is present.
+pub fn has_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}

@@ -1,0 +1,209 @@
+//! Fig. 3 of the paper: tail latency of a load-balanced two-backend
+//! key-value cluster under a 1 ms latency injection, plain Maglev vs. the
+//! latency-aware LB.
+
+use lb_dataplane::LbConfig;
+use lbcore::AlphaShift;
+use netsim::{Duration, Time};
+use telemetry::Table;
+
+use crate::topology::{KvCluster, KvClusterConfig, VIP};
+
+/// Fig. 3 parameters. The paper runs 200 s with the injection at t = 100 s
+/// on CloudLab; the default here is a 60 s run with injection at t = 20 s
+/// (the dynamics are identical and the simulation stays snappy); pass
+/// `full()` for the paper's timeline.
+#[derive(Debug, Clone)]
+pub struct Fig3Config {
+    /// Total run length.
+    pub duration: Duration,
+    /// When the 1 ms delay is injected.
+    pub inject_at: Duration,
+    /// Injected extra delay.
+    pub extra: Duration,
+    /// Latency-series bin width.
+    pub bin: Duration,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Default for Fig3Config {
+    fn default() -> Self {
+        Fig3Config {
+            duration: Duration::from_secs(60),
+            inject_at: Duration::from_secs(20),
+            extra: Duration::from_millis(1),
+            bin: Duration::from_secs(1),
+            seed: 42,
+        }
+    }
+}
+
+impl Fig3Config {
+    /// The paper's timeline: 200 s, injection at t = 100 s.
+    pub fn full() -> Fig3Config {
+        Fig3Config {
+            duration: Duration::from_secs(200),
+            inject_at: Duration::from_secs(100),
+            ..Fig3Config::default()
+        }
+    }
+
+    /// A fast variant for integration tests: 12 s, injection at t = 4 s.
+    pub fn quick() -> Fig3Config {
+        Fig3Config {
+            duration: Duration::from_secs(12),
+            inject_at: Duration::from_secs(4),
+            bin: Duration::from_millis(500),
+            ..Fig3Config::default()
+        }
+    }
+}
+
+/// One LB variant's outcome.
+pub struct Fig3Run {
+    /// `(bin start ns, p95 GET latency ns)` series.
+    pub p95_series: Vec<(u64, u64)>,
+    /// p95 GET latency over the pre-injection window.
+    pub p95_before: u64,
+    /// p95 GET latency over the post-injection window.
+    pub p95_after: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// LB weight of the degraded backend over time (empty for baseline).
+    pub degraded_weight: Vec<(u64, f64)>,
+    /// Time of the first controller action after injection, if any (ns).
+    pub first_reaction: Option<u64>,
+    /// `T_LB` samples the LB produced.
+    pub lb_samples: u64,
+}
+
+/// The full Fig. 3 result: baseline vs. latency-aware.
+pub struct Fig3Result {
+    /// Parameters used.
+    pub cfg: Fig3Config,
+    /// Plain-Maglev run.
+    pub baseline: Fig3Run,
+    /// Latency-aware run.
+    pub aware: Fig3Run,
+}
+
+fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
+    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> = if latency_aware {
+        Box::new(|backends| {
+            LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()))
+        })
+    } else {
+        Box::new(|backends| LbConfig::baseline(VIP, backends))
+    };
+    let mut cluster_cfg = KvClusterConfig::fig3_defaults(lb_factory);
+    cluster_cfg.seed = cfg.seed;
+    for c in &mut cluster_cfg.clients {
+        c.recorder_bin = cfg.bin;
+    }
+    let mut cluster = KvCluster::build(cluster_cfg);
+    let inject_at = Time::ZERO + cfg.inject_at;
+    cluster.inject_backend_delay(0, inject_at, cfg.extra);
+    cluster.sim.run_for(cfg.duration);
+
+    let recorder = &cluster.client_app(0).recorder;
+    let p95_series = recorder.get_series.quantile_series(0.95);
+    let inject_ns = inject_at.as_nanos();
+    let p95_of = |lo: u64, hi: u64| -> u64 {
+        let mut h = telemetry::LogHistogram::new();
+        for b in 0..recorder.get_series.len() {
+            let start = b as u64 * recorder.get_series.bin_width_ns();
+            if start >= lo && start < hi {
+                if let Some(hist) = recorder.get_series.bin(b) {
+                    h.merge(hist);
+                }
+            }
+        }
+        h.quantile(0.95)
+    };
+    let p95_before = p95_of(0, inject_ns);
+    let p95_after = p95_of(inject_ns, u64::MAX);
+
+    let lb = cluster.lb_node();
+    let series = lb.weight_series(0);
+    let degraded_weight = series.points().to_vec();
+    // "Reaction": the first instant at or after the injection when the
+    // degraded backend holds less than half the traffic. If noise-driven
+    // wander had already pushed it below before the injection, the
+    // reaction is reported as instantaneous (the system was already
+    // routing around the backend that then degraded).
+    let first_reaction = if series.value_at(inject_ns).map(|w| w < 0.5).unwrap_or(false) {
+        Some(inject_ns)
+    } else {
+        degraded_weight
+            .iter()
+            .find(|&&(t, w)| t > inject_ns && w < 0.5)
+            .map(|&(t, _)| t)
+    };
+    Fig3Run {
+        p95_series,
+        p95_before,
+        p95_after,
+        completed: recorder.responses,
+        degraded_weight,
+        first_reaction,
+        lb_samples: lb.stats.samples,
+    }
+}
+
+/// Runs both variants.
+pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
+    let baseline = run_variant(cfg, false);
+    let aware = run_variant(cfg, true);
+    Fig3Result { cfg: cfg.clone(), baseline, aware }
+}
+
+/// Renders the p95-vs-time comparison (the figure's two curves).
+pub fn fig3_table(r: &Fig3Result) -> Table {
+    let mut t = Table::new(
+        "Fig 3: p95 GET latency over time (us), 1ms injected at one backend",
+        &["t_s", "maglev_p95", "aware_p95"],
+    );
+    let mut by_bin: std::collections::BTreeMap<u64, (Option<u64>, Option<u64>)> =
+        std::collections::BTreeMap::new();
+    for &(at, v) in &r.baseline.p95_series {
+        by_bin.entry(at).or_default().0 = Some(v);
+    }
+    for &(at, v) in &r.aware.p95_series {
+        by_bin.entry(at).or_default().1 = Some(v);
+    }
+    let us = |v: Option<u64>| v.map(|x| format!("{:.1}", x as f64 / 1e3)).unwrap_or_else(|| "-".into());
+    for (at, (b, a)) in by_bin {
+        t.row(&[format!("{:.1}", at as f64 / 1e9), us(b), us(a)]);
+    }
+    t
+}
+
+/// Renders the summary rows (who wins, by how much, and reaction speed).
+pub fn fig3_summary_table(r: &Fig3Result) -> Table {
+    let mut t = Table::new(
+        "Fig 3 summary",
+        &["variant", "p95_before_us", "p95_after_us", "inflation", "reaction_ms", "requests"],
+    );
+    let inject_ns = (Time::ZERO + r.cfg.inject_at).as_nanos();
+    for (name, run) in [("maglev", &r.baseline), ("latency-aware", &r.aware)] {
+        let inflation = if run.p95_before > 0 {
+            run.p95_after as f64 / run.p95_before as f64
+        } else {
+            f64::NAN
+        };
+        let reaction = run
+            .first_reaction
+            .map(|t| format!("{:.2}", (t - inject_ns) as f64 / 1e6))
+            .unwrap_or_else(|| "-".into());
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}", run.p95_before as f64 / 1e3),
+            format!("{:.1}", run.p95_after as f64 / 1e3),
+            format!("{inflation:.2}x"),
+            reaction,
+            run.completed.to_string(),
+        ]);
+    }
+    t
+}

@@ -1,0 +1,19 @@
+//! The load-balancer node: binds the `lbcore` algorithms to the simulator.
+//!
+//! [`LbNode`] is a one-armed layer-4 load balancer under Direct Server
+//! Return, mirroring the paper's Cilium/XDP deployment:
+//!
+//! * it observes **only client→VIP traffic** (responses go server→client
+//!   directly, never crossing the LB),
+//! * per packet it runs the fast path — four-tuple parse, flow-table
+//!   lookup, Maglev lookup for new flows, destination rewrite, forward —
+//! * and, when measurement is enabled, executes `ENSEMBLETIMEOUT` per
+//!   packet, aggregates per-backend latency, and lets a feedback
+//!   controller reshape the Maglev weights.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod node;
+
+pub use node::{LbConfig, LbNode, LbStats, MeasureMode, RoutingPolicy};

@@ -1,0 +1,763 @@
+//! The LB node implementation.
+
+use std::net::Ipv4Addr;
+
+use netpkt::{FlowKey, MacAddr, Packet, TcpFlags};
+use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
+use telemetry::ScalarSeries;
+
+use lbcore::{
+    BackendEstimator, Controller, EnsembleConfig, EnsembleTimeout, FlowTable, MaglevTable, Weights,
+};
+
+/// How new connections are assigned to backends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Weighted Maglev (the paper's design): the feedback controller
+    /// reshapes backend weights and the table is rebuilt to match.
+    WeightedMaglev,
+    /// Latency-aware power-of-two-choices: each new connection hashes to
+    /// two candidate backends and picks the one with the lower fresh
+    /// in-band latency estimate (falling back to the first candidate when
+    /// estimates are missing). No controller, no table rebuilds — the
+    /// measurements drive per-connection decisions directly.
+    PowerOfTwo,
+}
+
+/// What the LB does with the measurement machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MeasureMode {
+    /// Plain Maglev: no per-packet measurement at all (the baseline).
+    Off,
+    /// Run Algorithms 1/2 and record samples, but never change weights
+    /// (used to evaluate measurement accuracy, Fig. 2).
+    Observe,
+    /// Measure and let the controller adapt weights (the paper's design).
+    Control,
+}
+
+/// Load-balancer configuration.
+pub struct LbConfig {
+    /// The virtual IP clients address.
+    pub vip: Ipv4Addr,
+    /// Backend addresses, indexed by backend id.
+    pub backends: Vec<Ipv4Addr>,
+    /// Maglev table size (prime).
+    pub table_size: usize,
+    /// Ensemble estimator parameters.
+    pub ensemble: EnsembleConfig,
+    /// Measurement/control mode.
+    pub mode: MeasureMode,
+    /// New-connection routing policy.
+    pub policy: RoutingPolicy,
+    /// Whether in-band measurement (Algorithms 1/2) runs. Disable it to
+    /// drive the controller purely from out-of-band reports — the §2.3
+    /// baseline the paper argues against.
+    pub inband: bool,
+    /// Control address for out-of-band reports: UDP datagrams to this
+    /// `(ip, port)` carrying `netpkt::oob` reports feed the per-backend
+    /// estimator directly.
+    pub control_addr: Option<(Ipv4Addr, u16)>,
+    /// The feedback controller (used in [`MeasureMode::Control`]).
+    pub controller: Box<dyn Controller>,
+    /// Weight floor (see [`Weights`]).
+    pub weight_floor: f64,
+    /// EWMA gain for per-backend latency.
+    pub estimator_alpha: f64,
+    /// Windowed quantile used as the control signal (0.5 = median;
+    /// higher values are variance-aware).
+    pub signal_quantile: f64,
+    /// Optional time horizon for the signal window: compute the quantile
+    /// over samples from the last `horizon` instead of a fixed count —
+    /// signal memory for periodic disturbances.
+    pub signal_horizon: Option<Duration>,
+    /// Estimates older than this are ignored by the controller.
+    pub estimator_staleness: Duration,
+    /// Whether established connections are pinned to their backend via the
+    /// flow table (§2.5's connection affinity requirement). Disabling this
+    /// routes *every* packet through the current Maglev table — the
+    /// configuration the ABL-PCC experiment uses to show how many
+    /// connections a weight change breaks without connection tracking.
+    pub affinity: bool,
+    /// Idle timeout for flow-table entries.
+    pub flow_idle_timeout: Duration,
+    /// Flow-table capacity (entries); at capacity, inserts evict
+    /// approximately-LRU victims, bounding LB memory under SYN floods.
+    pub flow_table_capacity: usize,
+    /// Period of the flow-table sweep timer.
+    pub sweep_interval: Duration,
+    /// Maximum number of raw `(time, backend, T_LB)` samples retained for
+    /// offline analysis; beyond this, samples still feed the estimators
+    /// but are not logged.
+    pub sample_log_limit: usize,
+}
+
+impl LbConfig {
+    /// A latency-aware LB with the paper's parameters and a given
+    /// controller.
+    pub fn latency_aware(vip: Ipv4Addr, backends: Vec<Ipv4Addr>, controller: Box<dyn Controller>) -> LbConfig {
+        LbConfig {
+            vip,
+            backends,
+            table_size: lbcore::maglev::DEFAULT_TABLE_SIZE,
+            // Control mode defaults to the robust cliff rule; see the
+            // CliffRule docs for why the paper's rule fails on KV traffic.
+            ensemble: EnsembleConfig::robust(),
+            mode: MeasureMode::Control,
+            policy: RoutingPolicy::WeightedMaglev,
+            inband: true,
+            control_addr: None,
+            controller,
+            weight_floor: 0.02,
+            estimator_alpha: 0.2,
+            signal_quantile: 0.5,
+            signal_horizon: None,
+            estimator_staleness: Duration::from_millis(500),
+            affinity: true,
+            flow_idle_timeout: Duration::from_secs(5),
+            flow_table_capacity: 1 << 20,
+            sweep_interval: Duration::from_secs(1),
+            sample_log_limit: 1 << 20,
+        }
+    }
+
+    /// The plain-Maglev baseline (no measurement, no adaptation).
+    pub fn baseline(vip: Ipv4Addr, backends: Vec<Ipv4Addr>) -> LbConfig {
+        let mut cfg = Self::latency_aware(vip, backends, Box::new(lbcore::AlphaShift::paper()));
+        cfg.mode = MeasureMode::Off;
+        cfg
+    }
+
+    /// Measurement-only mode (Fig. 2 experiments). Uses the paper's
+    /// argmax-ratio cliff rule for figure fidelity.
+    pub fn observer(vip: Ipv4Addr, backends: Vec<Ipv4Addr>) -> LbConfig {
+        let mut cfg = Self::latency_aware(vip, backends, Box::new(lbcore::AlphaShift::paper()));
+        cfg.mode = MeasureMode::Observe;
+        cfg.ensemble = EnsembleConfig::default();
+        cfg
+    }
+}
+
+/// LB counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LbStats {
+    /// Packets received.
+    pub rx: u64,
+    /// Packets forwarded to a backend.
+    pub forwarded: u64,
+    /// Packets dropped (parse failure or not addressed to the VIP).
+    pub dropped: u64,
+    /// New flows admitted (SYN → Maglev assignment).
+    pub new_flows: u64,
+    /// Packets forwarded via direct Maglev lookup because their flow had
+    /// no table entry (e.g. swept, or post-FIN stragglers).
+    pub fallback_forwards: u64,
+    /// Client FINs/RSTs observed (flow entries retired).
+    pub flow_closes: u64,
+    /// `T_LB` samples produced by the ensemble.
+    pub samples: u64,
+    /// Out-of-band reports accepted on the control address.
+    pub oob_reports: u64,
+    /// Maglev table rebuilds triggered by the controller.
+    pub table_rebuilds: u64,
+}
+
+/// A raw logged sample.
+#[derive(Debug, Clone, Copy)]
+pub struct LoggedSample {
+    /// When the sample was produced.
+    pub at: Time,
+    /// Backend the flow was pinned to.
+    pub backend: usize,
+    /// The flow that produced the sample.
+    pub flow: FlowKey,
+    /// Age of the flow-table entry when the sample was produced (ns).
+    pub flow_age: u64,
+    /// Packets seen on the flow so far.
+    pub flow_packets: u64,
+    /// The `T_LB` estimate, in nanoseconds.
+    pub t_lb: u64,
+}
+
+const SWEEP_TOKEN: TimerToken = TimerToken(1);
+
+/// The load-balancer node. See the crate docs.
+pub struct LbNode {
+    cfg: LbConfig,
+    /// One forwarding link per backend (the "LB → server paths").
+    backend_links: Vec<LinkId>,
+    mac: MacAddr,
+    weights: Weights,
+    table: MaglevTable,
+    flows: FlowTable,
+    /// One ensemble per backend: once latencies diverge, a single global
+    /// timeout δₑ cannot serve both a 250 µs backend and a 1.3 ms backend
+    /// (one merges batches while the other splits them), so sample-cliff
+    /// detection runs per backend. A flow uses the ensemble of the backend
+    /// it is pinned to.
+    ensembles: Vec<EnsembleTimeout>,
+    estimator: BackendEstimator,
+    /// Raw sample log (bounded by `cfg.sample_log_limit`).
+    samples: Vec<LoggedSample>,
+    /// Weight of each backend over time (one series per backend).
+    weight_series: Vec<ScalarSeries>,
+    /// Counters.
+    pub stats: LbStats,
+}
+
+impl LbNode {
+    /// Creates the LB with one forwarding link per backend (order matches
+    /// `cfg.backends`).
+    pub fn new(cfg: LbConfig, mac: MacAddr, backend_links: Vec<LinkId>) -> LbNode {
+        assert!(!cfg.backends.is_empty(), "LB needs at least one backend");
+        assert_eq!(
+            backend_links.len(),
+            cfg.backends.len(),
+            "one forwarding link per backend required"
+        );
+        let n = cfg.backends.len();
+        let weights = Weights::equal(n, cfg.weight_floor);
+        let table = MaglevTable::build(weights.as_slice(), cfg.table_size);
+        let flows =
+            FlowTable::with_capacity(cfg.flow_idle_timeout.as_nanos(), cfg.flow_table_capacity);
+        let ensembles = (0..n).map(|_| EnsembleTimeout::new(cfg.ensemble.clone())).collect();
+        let mut estimator =
+            BackendEstimator::new(n, cfg.estimator_alpha, cfg.estimator_staleness.as_nanos())
+                .with_signal_quantile(cfg.signal_quantile);
+        if let Some(h) = cfg.signal_horizon {
+            estimator = estimator.with_signal_horizon(h.as_nanos());
+        }
+        LbNode {
+            cfg,
+            backend_links,
+            mac,
+            weights,
+            table,
+            flows,
+            ensembles,
+            estimator,
+            samples: Vec::new(),
+            weight_series: (0..n).map(|_| ScalarSeries::new()).collect(),
+            stats: LbStats::default(),
+        }
+    }
+
+    /// The current weight vector.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// The logged raw samples.
+    pub fn samples(&self) -> &[LoggedSample] {
+        &self.samples
+    }
+
+    /// Weight history of backend `b`.
+    pub fn weight_series(&self, b: usize) -> &ScalarSeries {
+        &self.weight_series[b]
+    }
+
+    /// Backend `b`'s ensemble estimator (for epoch-decision introspection).
+    pub fn ensemble(&self, b: usize) -> &EnsembleTimeout {
+        &self.ensembles[b]
+    }
+
+    /// The per-backend estimator.
+    pub fn estimator(&self) -> &BackendEstimator {
+        &self.estimator
+    }
+
+    /// Live flow-table entries.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    fn record_weights(&mut self, now: Time) {
+        for (b, s) in self.weight_series.iter_mut().enumerate() {
+            s.push(now.as_nanos(), self.weights.get(b));
+        }
+    }
+
+    fn backend_mac(&self, b: usize) -> MacAddr {
+        // MACs are cosmetic in the simulator (routing is by IP); derive a
+        // stable per-backend address.
+        MacAddr::from_id(0xb000 + b as u32)
+    }
+
+    /// Handles a datagram on the control address; returns true if consumed.
+    fn try_control(&mut self, now: Time, pkt: &Packet) -> bool {
+        let Some((ip, port)) = self.cfg.control_addr else { return false };
+        let Ok((hdr, udp, payload)) = netpkt::udp::parse_udp(&pkt.data) else { return false };
+        if hdr.dst != ip || udp.dst_port != port {
+            return false;
+        }
+        if let Some((backend_id, latency_ns)) = netpkt::oob::parse_report(payload) {
+            let b = backend_id as usize;
+            if b < self.cfg.backends.len() {
+                self.stats.oob_reports += 1;
+                self.estimator.record(b, latency_ns, now.as_nanos());
+                if self.cfg.mode == MeasureMode::Control {
+                    self.run_controller(now);
+                }
+            }
+        }
+        true // addressed to the control port: consumed either way
+    }
+
+    /// The per-packet fast path.
+    fn process(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        self.stats.rx += 1;
+        if self.try_control(ctx.now(), &pkt) {
+            return;
+        }
+        let Ok((key, flags)) = FlowKey::parse_with_flags(&pkt.data) else {
+            self.stats.dropped += 1;
+            return;
+        };
+        if key.dst_ip != self.cfg.vip {
+            self.stats.dropped += 1;
+            return;
+        }
+        let now = ctx.now();
+        let now_ns = now.as_nanos();
+        let measuring = self.cfg.mode != MeasureMode::Off && self.cfg.inband;
+
+        // Flow lookup / admission. Entries are retired only by the idle
+        // sweep, never on FIN: the final ACK of the teardown arrives
+        // *after* the client's FIN, and a stateless fallback lookup could
+        // send it to a different backend if the table moved in between —
+        // breaking the close handshake. (Production LBs keep conntrack
+        // state past FIN for the same reason.)
+        let fin_or_rst = flags.contains(TcpFlags::FIN) || flags.contains(TcpFlags::RST);
+        // A SYN always starts a fresh connection: if a stale entry exists
+        // under the same four-tuple (the client recycled an ephemeral
+        // port before the idle sweep ran), it must not contribute its old
+        // timing anchors or backend pin to the new connection.
+        if flags.is_syn_only() {
+            self.flows.remove(&key);
+        }
+        let backend = if let Some(entry) = self.flows.get_mut(&key) {
+            entry.last_seen = now_ns;
+            entry.packets += 1;
+            let backend = if self.cfg.affinity {
+                entry.backend
+            } else {
+                // Stateless routing (ABL-PCC): every packet follows the
+                // *current* table; a rebuild mid-connection moves packets
+                // to a different backend and breaks the connection.
+                self.table.lookup(key.stable_hash())
+            };
+            if measuring {
+                if let Some(t_lb) = self.ensembles[backend].on_packet(&mut entry.timing, now_ns) {
+                    self.stats.samples += 1;
+                    self.estimator.record(backend, t_lb, now_ns);
+                    if self.samples.len() < self.cfg.sample_log_limit {
+                        self.samples.push(LoggedSample {
+                            at: now,
+                            backend,
+                            flow: key,
+                            flow_age: now_ns.saturating_sub(entry.created),
+                            flow_packets: entry.packets,
+                            t_lb,
+                        });
+                    }
+                    if self.cfg.mode == MeasureMode::Control {
+                        self.run_controller(now);
+                    }
+                }
+            }
+            backend
+        } else if flags.is_syn_only() {
+            let backend = self.pick_backend(key.stable_hash(), now_ns);
+            let timing = self.ensembles[backend].new_flow(now_ns);
+            self.flows.insert(key, backend, timing, now_ns);
+            self.stats.new_flows += 1;
+            backend
+        } else {
+            // No entry and not a connection start: forward statelessly.
+            self.stats.fallback_forwards += 1;
+            self.table.lookup(key.stable_hash())
+        };
+
+        if fin_or_rst {
+            self.stats.flow_closes += 1;
+        }
+
+        // DSR forwarding: L2 rewrite only; the VIP stays in the IP header.
+        let fwd = pkt.with_macs(self.mac, self.backend_mac(backend));
+        self.stats.forwarded += 1;
+        ctx.send(self.backend_links[backend], fwd);
+    }
+
+    /// Chooses the backend for a new connection per the routing policy.
+    fn pick_backend(&self, hash: u64, now_ns: u64) -> usize {
+        match self.cfg.policy {
+            RoutingPolicy::WeightedMaglev => self.table.lookup(hash),
+            RoutingPolicy::PowerOfTwo => {
+                let n = self.cfg.backends.len();
+                if n == 1 {
+                    return 0;
+                }
+                let c1 = (hash % n as u64) as usize;
+                // Second candidate from an independent hash, displaced so
+                // the two always differ.
+                let h2 = netpkt::flow::splitmix64(hash ^ 0x9e37_79b9_7f4a_7c15);
+                let mut c2 = (h2 % n as u64) as usize;
+                if c2 == c1 {
+                    c2 = (c2 + 1) % n;
+                }
+                match (
+                    self.estimator.fresh_estimate(c1, now_ns),
+                    self.estimator.fresh_estimate(c2, now_ns),
+                ) {
+                    (Some(e1), Some(e2)) if e2 < e1 => c2,
+                    (None, Some(_)) => c1, // un-measured first candidate: explore it
+                    _ => c1,
+                }
+            }
+        }
+    }
+
+    fn run_controller(&mut self, now: Time) {
+        if self.cfg.policy == RoutingPolicy::PowerOfTwo {
+            return; // p2c consumes estimates directly; no table to reshape
+        }
+        let changed = self
+            .cfg
+            .controller
+            .maybe_update(now.as_nanos(), &self.estimator, &mut self.weights);
+        if changed {
+            self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
+            self.stats.table_rebuilds += 1;
+            self.record_weights(now);
+        }
+    }
+}
+
+impl Node for LbNode {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.record_weights(ctx.now());
+        ctx.arm_timer(self.cfg.sweep_interval, SWEEP_TOKEN);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _link: LinkId, pkt: Packet) {
+        self.process(ctx, pkt);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        debug_assert_eq!(token, SWEEP_TOKEN);
+        self.flows.sweep(ctx.now().as_nanos());
+        ctx.arm_timer(self.cfg.sweep_interval, SWEEP_TOKEN);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netpkt::TcpHeader;
+
+    const VIP: Ipv4Addr = Ipv4Addr::new(10, 9, 9, 9);
+    const CLIENT: Ipv4Addr = Ipv4Addr::new(10, 0, 0, 1);
+
+    fn backends() -> Vec<Ipv4Addr> {
+        vec![Ipv4Addr::new(10, 0, 2, 1), Ipv4Addr::new(10, 0, 2, 2)]
+    }
+
+    fn client_pkt(src_port: u16, flags: TcpFlags, seq: u32) -> Packet {
+        Packet::build_tcp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            CLIENT,
+            VIP,
+            &TcpHeader { src_port, dst_port: 11211, seq, ack: 0, flags, window: 8192 },
+            b"",
+            64,
+            0,
+        )
+    }
+
+    /// A sink that remembers delivered packets.
+    struct Sink {
+        got: Vec<Packet>,
+    }
+    impl Node for Sink {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _l: LinkId, p: Packet) {
+            self.got.push(p);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+    }
+
+    /// An injector that sends a scripted list of (time, packet).
+    struct Injector {
+        link: LinkId,
+        script: Vec<(Duration, Packet)>,
+    }
+    impl Node for Injector {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for (i, (after, _)) in self.script.iter().enumerate() {
+                ctx.arm_timer(*after, TimerToken(i as u64));
+            }
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _l: LinkId, _p: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: TimerToken) {
+            let pkt = self.script[t.0 as usize].1.clone();
+            ctx.send(self.link, pkt);
+        }
+    }
+
+    /// Builds injector → LB → two sinks (one link per backend).
+    /// Returns (sim, lb, [sink0, sink1]).
+    fn rig(
+        cfg: LbConfig,
+        script: Vec<(Duration, Packet)>,
+    ) -> (netsim::Simulation, netsim::NodeId, [netsim::NodeId; 2]) {
+        let mut sim = netsim::Simulation::new();
+        let inj = sim.reserve_node("client");
+        let lb = sim.reserve_node("lb");
+        let sink0 = sim.add_node("sink0", Box::new(Sink { got: Vec::new() }));
+        let sink1 = sim.add_node("sink1", Box::new(Sink { got: Vec::new() }));
+        let l_in = sim.add_link(inj, lb, netsim::LinkConfig::default());
+        let l0 = sim.add_link(lb, sink0, netsim::LinkConfig::default());
+        let l1 = sim.add_link(lb, sink1, netsim::LinkConfig::default());
+        sim.install_node(inj, Box::new(Injector { link: l_in, script }));
+        sim.install_node(lb, Box::new(LbNode::new(cfg, MacAddr::from_id(9), vec![l0, l1])));
+        (sim, lb, [sink0, sink1])
+    }
+
+    fn delivered(sim: &netsim::Simulation, sinks: [netsim::NodeId; 2]) -> Vec<(usize, Packet)> {
+        let mut out = Vec::new();
+        for (i, s) in sinks.into_iter().enumerate() {
+            for p in &sim.node_ref::<Sink>(s).unwrap().got {
+                out.push((i, p.clone()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn syn_admits_flow_and_forwards_with_vip_intact() {
+        let script = vec![
+            (Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1)),
+            (Duration::from_micros(50), client_pkt(4000, TcpFlags::ACK, 2)),
+        ];
+        let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
+        sim.run_for(Duration::from_millis(10));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        assert_eq!(lb_node.stats.new_flows, 1);
+        assert_eq!(lb_node.stats.forwarded, 2);
+        let got = delivered(&sim, sinks);
+        assert_eq!(got.len(), 2);
+        for (_, p) in &got {
+            let v = p.view().expect("forwarded packet must still verify");
+            assert_eq!(v.ip.dst, VIP, "DSR keeps the VIP in the IP header");
+            assert_eq!(v.ip.src, CLIENT, "source preserved for DSR");
+            assert_eq!(v.eth.src, MacAddr::from_id(9), "LB MAC as L2 source");
+        }
+    }
+
+    #[test]
+    fn same_flow_sticks_to_one_backend() {
+        let mut script = vec![(Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1))];
+        for i in 0..20u64 {
+            script.push((
+                Duration::from_micros(100 + i * 10),
+                client_pkt(4000, TcpFlags::ACK | TcpFlags::PSH, 2 + i as u32),
+            ));
+        }
+        let (mut sim, _lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
+        sim.run_for(Duration::from_millis(10));
+        let got = delivered(&sim, sinks);
+        let used: std::collections::HashSet<usize> = got.iter().map(|&(i, _)| i).collect();
+        assert_eq!(used.len(), 1, "flow moved between backends");
+        assert_eq!(got.len(), 21);
+    }
+
+    #[test]
+    fn different_flows_spread_over_backends() {
+        let mut script = Vec::new();
+        for port in 0..64u16 {
+            script.push((Duration::from_micros(10 + port as u64), client_pkt(4000 + port, TcpFlags::SYN, 1)));
+        }
+        let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node_ref::<LbNode>(lb).unwrap().stats.new_flows, 64);
+        let got = delivered(&sim, sinks);
+        let mut counts = [0usize; 2];
+        for (i, _) in &got {
+            counts[*i] += 1;
+        }
+        assert!(counts[0] > 16 && counts[1] > 16, "imbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn fin_keeps_entry_until_idle_sweep() {
+        // Entries are retired by the idle sweep, not by FIN: the post-FIN
+        // straggler (the teardown's final ACK) must still hit the pinned
+        // entry so it reaches the same backend.
+        let script = vec![
+            (Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1)),
+            (Duration::from_micros(50), client_pkt(4000, TcpFlags::FIN | TcpFlags::ACK, 2)),
+            (Duration::from_micros(90), client_pkt(4000, TcpFlags::ACK, 3)),
+        ];
+        let mut cfg = LbConfig::baseline(VIP, backends());
+        cfg.flow_idle_timeout = Duration::from_millis(5);
+        cfg.sweep_interval = Duration::from_millis(2);
+        let (mut sim, lb, _sinks) = rig(cfg, script);
+        sim.run_for(Duration::from_millis(1));
+        {
+            let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+            assert_eq!(lb_node.stats.flow_closes, 1, "FIN observed");
+            assert_eq!(lb_node.stats.fallback_forwards, 0, "straggler used the entry");
+            assert_eq!(lb_node.flow_count(), 1, "entry survives the FIN");
+            assert_eq!(lb_node.stats.forwarded, 3);
+        }
+        // After idling past the timeout, the sweep reclaims it.
+        sim.run_for(Duration::from_millis(20));
+        assert_eq!(sim.node_ref::<LbNode>(lb).unwrap().flow_count(), 0);
+    }
+
+    #[test]
+    fn non_vip_traffic_dropped() {
+        let stray = Packet::build_tcp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            CLIENT,
+            Ipv4Addr::new(8, 8, 8, 8),
+            &TcpHeader { src_port: 1, dst_port: 2, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 1 },
+            b"",
+            64,
+            0,
+        );
+        let script = vec![(Duration::from_micros(10), stray)];
+        let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
+        sim.run_for(Duration::from_millis(10));
+        assert_eq!(sim.node_ref::<LbNode>(lb).unwrap().stats.dropped, 1);
+        assert!(delivered(&sim, sinks).is_empty());
+    }
+
+    #[test]
+    fn syn_flood_bounds_flow_table_and_keeps_forwarding() {
+        // 5000 spoofed SYNs from distinct ports against a 256-entry table:
+        // memory stays bounded, every packet still forwards, and a real
+        // flow admitted afterwards works normally.
+        let mut script: Vec<(Duration, Packet)> = (0..5000u32)
+            .map(|i| {
+                (
+                    Duration::from_nanos(1_000 + i as u64 * 200),
+                    client_pkt(10_000 + (i % 50_000) as u16, TcpFlags::SYN, 1),
+                )
+            })
+            .collect();
+        script.push((Duration::from_millis(5), client_pkt(9_000, TcpFlags::SYN, 1)));
+        script.push((
+            Duration::from_millis(6),
+            client_pkt(9_000, TcpFlags::ACK | TcpFlags::PSH, 2),
+        ));
+        let mut cfg = LbConfig::baseline(VIP, backends());
+        cfg.flow_table_capacity = 256;
+        let (mut sim, lb, sinks) = rig(cfg, script);
+        sim.run_for(Duration::from_millis(20));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        assert!(lb_node.flow_count() <= 256, "table grew to {}", lb_node.flow_count());
+        assert_eq!(lb_node.stats.forwarded, 5002, "flood packets must still forward");
+        // The real flow's data packet followed its SYN to the same place.
+        assert!(delivered(&sim, sinks).len() >= 5002);
+    }
+
+    #[test]
+    fn power_of_two_prefers_fresher_faster_backend() {
+        // Build a standalone node (links are never used by pick_backend).
+        let mut lb = LbNode::new(
+            {
+                let mut c = LbConfig::latency_aware(
+                    VIP,
+                    backends(),
+                    Box::new(lbcore::AlphaShift::damped()),
+                );
+                c.policy = RoutingPolicy::PowerOfTwo;
+                c
+            },
+            MacAddr::from_id(9),
+            vec![netsim::LinkId(0), netsim::LinkId(1)],
+        );
+        // Without estimates, picks are hash-spread over both backends.
+        let mut seen = [0usize; 2];
+        for h in 0..200u64 {
+            seen[lb.pick_backend(netpkt::flow::splitmix64(h), 0)] += 1;
+        }
+        assert!(seen[0] > 50 && seen[1] > 50, "unbalanced without estimates: {seen:?}");
+
+        // Backend 0 measured much slower: every pick goes to backend 1.
+        for i in 0..20 {
+            lb.estimator.record(0, 5_000_000, i);
+            lb.estimator.record(1, 200_000, i);
+        }
+        for h in 0..200u64 {
+            assert_eq!(lb.pick_backend(netpkt::flow::splitmix64(h), 20), 1);
+        }
+    }
+
+    #[test]
+    fn affinity_off_follows_current_table() {
+        // With affinity disabled and a heavily skewed table, even packets
+        // of an established flow land per the table, not the pin.
+        let mut cfg = LbConfig::baseline(VIP, backends());
+        cfg.affinity = false;
+        let mut script = vec![(Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1))];
+        for i in 0..10u64 {
+            script.push((
+                Duration::from_micros(100 + i * 10),
+                client_pkt(4000, TcpFlags::ACK | TcpFlags::PSH, 2 + i as u32),
+            ));
+        }
+        let (mut sim, lb, sinks) = rig(cfg, script);
+        // Skew the table completely toward backend 1 after admission.
+        sim.run_for(Duration::from_micros(50));
+        {
+            let node = sim.node_mut::<LbNode>(lb).unwrap();
+            node.weights.set(&[0.0, 1.0]);
+            node.table = MaglevTable::build(node.weights.as_slice(), node.cfg.table_size);
+        }
+        sim.run_for(Duration::from_millis(10));
+        let got = delivered(&sim, sinks);
+        // The SYN went wherever the original table said; all post-skew
+        // packets went to backend 1.
+        let after_skew: Vec<usize> = got.iter().skip(1).map(|&(i, _)| i).collect();
+        assert!(after_skew.iter().all(|&i| i == 1), "stateless routing ignored the table");
+    }
+
+    #[test]
+    fn observe_mode_measures_batched_flow() {
+        // One flow sending batches every 1 ms: the ensemble must produce
+        // samples near 1 ms and never change the weights.
+        let mut script = vec![(Duration::from_micros(1), client_pkt(4000, TcpFlags::SYN, 0))];
+        let mut t = Duration::from_millis(1);
+        for batch in 0..400u64 {
+            for i in 0..4u64 {
+                script.push((
+                    t + Duration::from_micros(i * 20),
+                    client_pkt(4000, TcpFlags::ACK | TcpFlags::PSH, batch as u32 * 4 + i as u32),
+                ));
+            }
+            t += Duration::from_millis(1);
+        }
+        let (mut sim, lb, _sink) = rig(LbConfig::observer(VIP, backends()), script);
+        sim.run_for(Duration::from_secs(1));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        assert!(lb_node.stats.samples > 100, "samples: {}", lb_node.stats.samples);
+        // After the ensemble settles, samples should be ~1 ms.
+        let late: Vec<u64> = lb_node
+            .samples()
+            .iter()
+            .filter(|s| s.at.as_nanos() > 200_000_000)
+            .map(|s| s.t_lb)
+            .collect();
+        let near = late.iter().filter(|&&s| (900_000..1_100_000).contains(&s)).count();
+        assert!(
+            near as f64 > 0.9 * late.len() as f64,
+            "only {near}/{} samples near 1 ms",
+            late.len()
+        );
+        assert_eq!(lb_node.stats.table_rebuilds, 0, "observe mode must not adapt");
+    }
+}

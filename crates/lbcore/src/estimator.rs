@@ -1,0 +1,363 @@
+//! Per-backend latency aggregation feeding the controllers.
+//!
+//! `T_LB` samples from the ensemble estimator arrive tagged with the
+//! backend the flow is pinned to. The controller wants a smoothed,
+//! recency-weighted view per backend; this module provides a windowed
+//! median (the robust control signal), an EWMA and a streaming p95 (for
+//! reporting), and staleness tracking (a backend that stops receiving samples must not be judged on
+//! ancient data forever).
+
+use telemetry::P2Quantile;
+
+use crate::Nanos;
+
+/// Ring capacity for recent samples (time, value).
+const WINDOW_CAP: usize = 64;
+/// How many of the most recent samples the default count-based signal
+/// uses.
+const DEFAULT_COUNT_WINDOW: usize = 16;
+
+/// Latency state for one backend.
+#[derive(Debug, Clone)]
+pub struct BackendEstimate {
+    ewma: Option<f64>,
+    alpha: f64,
+    p95: P2Quantile,
+    /// Ring buffer of the most recent `(time, value)` samples. `T_LB`
+    /// occasionally produces wildly large values (merged batches) and
+    /// small ones (split batches); a windowed quantile is robust to both
+    /// where an EWMA is poisoned by a single merged-batch giant.
+    window: [(Nanos, Nanos); WINDOW_CAP],
+    window_len: usize,
+    window_pos: usize,
+    samples: u64,
+    last_sample_at: Nanos,
+}
+
+impl BackendEstimate {
+    fn new(alpha: f64) -> BackendEstimate {
+        BackendEstimate {
+            ewma: None,
+            alpha,
+            p95: P2Quantile::new(0.95),
+            window: [(0, 0); WINDOW_CAP],
+            window_len: 0,
+            window_pos: 0,
+            samples: 0,
+            last_sample_at: 0,
+        }
+    }
+
+    /// Feeds one latency sample (nanoseconds) observed at `now`.
+    pub fn record(&mut self, latency: Nanos, now: Nanos) {
+        let x = latency as f64;
+        self.ewma = Some(match self.ewma {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        });
+        self.p95.record(x);
+        self.window[self.window_pos] = (now, latency);
+        self.window_pos = (self.window_pos + 1) % WINDOW_CAP;
+        self.window_len = (self.window_len + 1).min(WINDOW_CAP);
+        self.samples += 1;
+        self.last_sample_at = now;
+    }
+
+    /// The smoothed latency in nanoseconds, if any sample arrived yet.
+    pub fn ewma(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// The most recent samples, newest last: either the last
+    /// `DEFAULT_COUNT_WINDOW` (when `horizon` is `None`) or every retained
+    /// sample not older than `horizon` before `now`.
+    fn recent(&self, now: Nanos, horizon: Option<Nanos>) -> Vec<Nanos> {
+        let take = match horizon {
+            None => DEFAULT_COUNT_WINDOW.min(self.window_len),
+            Some(_) => self.window_len,
+        };
+        let mut out = Vec::with_capacity(take);
+        for i in 0..take {
+            // Walk backwards from the most recent entry.
+            let idx = (self.window_pos + WINDOW_CAP - 1 - i) % WINDOW_CAP;
+            let (t, v) = self.window[idx];
+            if let Some(h) = horizon {
+                if now.saturating_sub(t) > h {
+                    break; // older entries are older still
+                }
+            }
+            out.push(v);
+        }
+        out
+    }
+
+    /// The median of the most recent samples — the robust control signal.
+    pub fn windowed_median(&self) -> Option<f64> {
+        self.windowed_quantile(0.5)
+    }
+
+    /// An arbitrary quantile of the most recent (count-based) samples.
+    /// Higher quantiles (e.g. 0.9) make the signal variance-aware.
+    pub fn windowed_quantile(&self, q: f64) -> Option<f64> {
+        self.quantile_over(q, 0, None)
+    }
+
+    /// Quantile over a configurable window: count-based when `horizon`
+    /// is `None`, or over every retained sample within `horizon` of
+    /// `now`. A time-based horizon gives the signal *memory spanning a
+    /// periodic disturbance* — the fix the bursty-congestion experiments
+    /// call for.
+    pub fn quantile_over(&self, q: f64, now: Nanos, horizon: Option<Nanos>) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        let mut w = self.recent(now, horizon);
+        if w.is_empty() {
+            return None;
+        }
+        w.sort_unstable();
+        let rank = ((q * w.len() as f64).ceil() as usize).clamp(1, w.len());
+        Some(w[rank - 1] as f64)
+    }
+
+    /// Streaming p95 estimate in nanoseconds (0 before any samples).
+    pub fn p95(&self) -> f64 {
+        self.p95.value()
+    }
+
+    /// Total samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Time of the most recent sample.
+    pub fn last_sample_at(&self) -> Nanos {
+        self.last_sample_at
+    }
+}
+
+/// Estimates for all backends of one LB.
+#[derive(Debug, Clone)]
+pub struct BackendEstimator {
+    backends: Vec<BackendEstimate>,
+    staleness_limit: Nanos,
+    signal_quantile: f64,
+    signal_horizon: Option<Nanos>,
+}
+
+impl BackendEstimator {
+    /// Creates estimators for `n` backends.
+    ///
+    /// `alpha` is the EWMA gain (0 < α ≤ 1; higher = more reactive).
+    /// `staleness_limit` bounds how old a backend's estimate may be before
+    /// [`BackendEstimator::fresh_estimate`] discards it. The control
+    /// signal defaults to the windowed median; see
+    /// [`BackendEstimator::with_signal_quantile`].
+    pub fn new(n: usize, alpha: f64, staleness_limit: Nanos) -> BackendEstimator {
+        assert!(n > 0, "at least one backend");
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        BackendEstimator {
+            backends: (0..n).map(|_| BackendEstimate::new(alpha)).collect(),
+            staleness_limit,
+            signal_quantile: 0.5,
+            signal_horizon: None,
+        }
+    }
+
+    /// Changes the windowed quantile used as the control signal.
+    pub fn with_signal_quantile(mut self, q: f64) -> BackendEstimator {
+        assert!(q > 0.0 && q <= 1.0, "signal quantile out of range");
+        self.signal_quantile = q;
+        self
+    }
+
+    /// Switches the control signal to a time-based window: the quantile is
+    /// computed over every retained sample from the last `horizon_ns`
+    /// (up to the ring capacity) instead of a fixed sample count.
+    pub fn with_signal_horizon(mut self, horizon_ns: Nanos) -> BackendEstimator {
+        assert!(horizon_ns > 0, "horizon must be positive");
+        self.signal_horizon = Some(horizon_ns);
+        self
+    }
+
+    /// Number of backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// True if there are no backends (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
+    }
+
+    /// Records a sample for backend `b`.
+    pub fn record(&mut self, b: usize, latency: Nanos, now: Nanos) {
+        self.backends[b].record(latency, now);
+    }
+
+    /// One backend's state.
+    pub fn backend(&self, b: usize) -> &BackendEstimate {
+        &self.backends[b]
+    }
+
+    /// The control signal for backend `b` (windowed quantile, median by
+    /// default), if it exists and is fresh at `now`.
+    pub fn fresh_estimate(&self, b: usize, now: Nanos) -> Option<f64> {
+        let e = &self.backends[b];
+        let est = e.quantile_over(self.signal_quantile, now, self.signal_horizon)?;
+        if now.saturating_sub(e.last_sample_at) > self.staleness_limit {
+            None
+        } else {
+            Some(est)
+        }
+    }
+
+    /// Backwards-compatible alias for [`BackendEstimator::fresh_estimate`].
+    #[deprecated(note = "renamed to fresh_estimate (windowed median)")]
+    pub fn fresh_ewma(&self, b: usize, now: Nanos) -> Option<f64> {
+        self.fresh_estimate(b, now)
+    }
+
+    /// The backend with the highest fresh latency estimate, with its value
+    /// — the controller's "worst server". `None` until at least two
+    /// backends have fresh estimates (with fewer there is nothing to
+    /// compare).
+    pub fn worst(&self, now: Nanos) -> Option<(usize, f64)> {
+        let fresh: Vec<(usize, f64)> = (0..self.backends.len())
+            .filter_map(|b| self.fresh_estimate(b, now).map(|e| (b, e)))
+            .collect();
+        if fresh.len() < 2 {
+            return None;
+        }
+        fresh
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite estimate"))
+    }
+
+    /// The lowest fresh estimate among backends other than `excluding`.
+    pub fn best_other(&self, excluding: usize, now: Nanos) -> Option<f64> {
+        (0..self.backends.len())
+            .filter(|&b| b != excluding)
+            .filter_map(|b| self.fresh_estimate(b, now))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite estimate"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: Nanos = 1_000_000;
+
+    #[test]
+    fn ewma_converges() {
+        let mut est = BackendEstimator::new(2, 0.2, 10_000 * MS);
+        for i in 0..100 {
+            est.record(0, MS, i);
+        }
+        let e = est.backend(0).ewma().unwrap();
+        assert!((e - MS as f64).abs() < 1.0);
+        assert_eq!(est.backend(0).samples(), 100);
+        assert_eq!(est.backend(1).ewma(), None);
+    }
+
+    #[test]
+    fn ewma_tracks_step() {
+        let mut est = BackendEstimator::new(1, 0.2, 10_000 * MS);
+        for i in 0..50 {
+            est.record(0, MS, i);
+        }
+        for i in 50..100 {
+            est.record(0, 2 * MS, i);
+        }
+        let e = est.backend(0).ewma().unwrap();
+        assert!(e > 1.9 * MS as f64, "ewma {e} lags");
+    }
+
+    #[test]
+    fn worst_picks_highest() {
+        let mut est = BackendEstimator::new(3, 0.5, 10_000 * MS);
+        est.record(0, MS, 0);
+        est.record(1, 3 * MS, 0);
+        est.record(2, 2 * MS, 0);
+        let (b, v) = est.worst(1).unwrap();
+        assert_eq!(b, 1);
+        assert!((v - 3.0 * MS as f64).abs() < 1.0);
+        assert!((est.best_other(1, 1).unwrap() - MS as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn worst_requires_two_fresh() {
+        let mut est = BackendEstimator::new(2, 0.5, 10_000 * MS);
+        assert_eq!(est.worst(0), None);
+        est.record(0, MS, 0);
+        assert_eq!(est.worst(1), None, "one estimate is not comparable");
+        est.record(1, 2 * MS, 1);
+        assert!(est.worst(2).is_some());
+    }
+
+    #[test]
+    fn staleness_discards_old_estimates() {
+        let mut est = BackendEstimator::new(2, 0.5, 100 * MS);
+        est.record(0, MS, 0);
+        est.record(1, 5 * MS, 0);
+        assert_eq!(est.worst(50 * MS).unwrap().0, 1);
+        // Backend 1 goes silent; long past the limit its estimate is gone.
+        est.record(0, MS, 400 * MS);
+        assert_eq!(est.fresh_estimate(1, 400 * MS), None);
+        assert_eq!(est.worst(400 * MS), None);
+    }
+
+    #[test]
+    fn p95_reflects_tail() {
+        let mut est = BackendEstimator::new(1, 0.2, 10_000 * MS);
+        for i in 0..95 {
+            est.record(0, MS, i);
+        }
+        for i in 95..100 {
+            est.record(0, 10 * MS, i);
+        }
+        let p95 = est.backend(0).p95();
+        assert!(p95 > MS as f64, "p95 {p95} ignores the tail");
+    }
+
+    #[test]
+    fn time_horizon_sees_past_bursts() {
+        // A burst of ten 2 ms samples at t = 0..1 ms, then forty fast
+        // 100 µs samples over the next 4 ms. The count-window median has
+        // forgotten the burst; a 10 ms horizon's p90 still remembers it.
+        let mut e = BackendEstimator::new(1, 0.5, u64::MAX);
+        for i in 0..10u64 {
+            e.record(0, 2 * MS, i * 100_000);
+        }
+        for i in 0..40u64 {
+            e.record(0, 100_000, MS + i * 100_000);
+        }
+        let now = 5 * MS;
+        let count_median = e.backend(0).quantile_over(0.5, now, None).unwrap();
+        assert!(count_median < 200_000.0, "count window should be all-fast: {count_median}");
+        let horizon_p90 = e.backend(0).quantile_over(0.9, now, Some(10 * MS)).unwrap();
+        assert!(
+            horizon_p90 >= 2.0 * MS as f64,
+            "10 ms horizon p90 must remember the burst: {horizon_p90}"
+        );
+        // A horizon shorter than the data's age excludes the burst.
+        let short_p90 = e.backend(0).quantile_over(0.9, now, Some(2 * MS)).unwrap();
+        assert!(short_p90 < 200_000.0, "2 ms horizon should be all-fast: {short_p90}");
+    }
+
+    #[test]
+    fn estimator_with_horizon_controls_freshness_consistently() {
+        let mut e = BackendEstimator::new(2, 0.5, 100 * MS).with_signal_horizon(50 * MS);
+        e.record(0, MS, 0);
+        e.record(1, 2 * MS, 0);
+        // Within the horizon and freshness: comparable.
+        assert!(e.worst(10 * MS).is_some());
+        // Past the horizon the windows go empty even before staleness.
+        assert_eq!(e.fresh_estimate(0, 60 * MS), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_rejected() {
+        let _ = BackendEstimator::new(1, 0.0, 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-connection state at the LB: backend affinity plus the measurement
+//! state of Algorithms 1/2.
+//!
+//! Connection-to-backend affinity is a hard LB requirement (§2.5): once a
+//! connection is assigned, weight changes must not move it, or the TCP
+//! connection breaks. The flow table pins assignments; the Maglev table
+//! only decides *new* flows. Entries expire after an idle timeout, swept
+//! periodically, so the table is bounded by the number of live-ish flows.
+
+use std::collections::HashMap;
+
+use netpkt::FlowKey;
+
+use crate::ensemble::EnsembleFlowState;
+use crate::Nanos;
+
+/// Per-flow entry.
+#[derive(Debug, Clone)]
+pub struct FlowEntry {
+    /// The pinned backend index.
+    pub backend: usize,
+    /// Measurement state for the ensemble estimator.
+    pub timing: EnsembleFlowState,
+    /// When the flow was first seen.
+    pub created: Nanos,
+    /// Last packet arrival (drives idle expiry).
+    pub last_seen: Nanos,
+    /// Packets observed on this flow.
+    pub packets: u64,
+}
+
+/// Flow-table counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlowTableStats {
+    /// Entries created.
+    pub inserted: u64,
+    /// Entries explicitly removed (SYN-reset of a stale tuple, etc.).
+    pub closed: u64,
+    /// Entries removed by the idle sweep.
+    pub expired: u64,
+    /// Entries evicted because the table hit its capacity (SYN floods —
+    /// §2.4's volumetric-attack concern — must not grow LB memory
+    /// without bound).
+    pub evicted: u64,
+}
+
+/// The LB's connection table.
+#[derive(Debug)]
+pub struct FlowTable {
+    entries: HashMap<FlowKey, FlowEntry>,
+    idle_timeout: Nanos,
+    max_entries: usize,
+    /// Counters.
+    pub stats: FlowTableStats,
+}
+
+impl FlowTable {
+    /// Creates a table whose entries expire after `idle_timeout` without
+    /// traffic, with a default capacity of 2²⁰ entries.
+    pub fn new(idle_timeout: Nanos) -> FlowTable {
+        Self::with_capacity(idle_timeout, 1 << 20)
+    }
+
+    /// Creates a table with an explicit capacity. At capacity, inserting
+    /// evicts the least-recently-seen entry among a bounded probe of
+    /// existing entries (approximate LRU, the fixed-cost strategy
+    /// production LB conntracks use).
+    pub fn with_capacity(idle_timeout: Nanos, max_entries: usize) -> FlowTable {
+        assert!(idle_timeout > 0, "idle timeout must be positive");
+        assert!(max_entries > 0, "capacity must be positive");
+        FlowTable {
+            entries: HashMap::new(),
+            idle_timeout,
+            max_entries,
+            stats: FlowTableStats::default(),
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no flows are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a flow.
+    pub fn get_mut(&mut self, key: &FlowKey) -> Option<&mut FlowEntry> {
+        self.entries.get_mut(key)
+    }
+
+    /// Inserts a new flow pinned to `backend`, evicting if at capacity.
+    pub fn insert(&mut self, key: FlowKey, backend: usize, timing: EnsembleFlowState, now: Nanos) -> &mut FlowEntry {
+        if self.entries.len() >= self.max_entries && !self.entries.contains_key(&key) {
+            // Approximate LRU: probe a bounded slice of the (arbitrary but
+            // deterministic) iteration order and drop the stalest.
+            let victim = self
+                .entries
+                .iter()
+                .take(16)
+                .min_by_key(|(_, e)| e.last_seen)
+                .map(|(k, _)| *k);
+            if let Some(v) = victim {
+                self.entries.remove(&v);
+                self.stats.evicted += 1;
+            }
+        }
+        self.stats.inserted += 1;
+        self.entries.entry(key).or_insert(FlowEntry {
+            backend,
+            timing,
+            created: now,
+            last_seen: now,
+            packets: 0,
+        })
+    }
+
+    /// Removes a flow (observed FIN from the client, or RST).
+    pub fn remove(&mut self, key: &FlowKey) -> Option<FlowEntry> {
+        let e = self.entries.remove(key);
+        if e.is_some() {
+            self.stats.closed += 1;
+        }
+        e
+    }
+
+    /// Removes entries idle for longer than the timeout; returns how many.
+    pub fn sweep(&mut self, now: Nanos) -> usize {
+        let timeout = self.idle_timeout;
+        let before = self.entries.len();
+        self.entries.retain(|_, e| now.saturating_sub(e.last_seen) <= timeout);
+        let removed = before - self.entries.len();
+        self.stats.expired += removed as u64;
+        removed
+    }
+
+    /// Number of live flows pinned to each of `n` backends (diagnostics).
+    pub fn per_backend_counts(&self, n: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; n];
+        for e in self.entries.values() {
+            if e.backend < n {
+                counts[e.backend] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ensemble::{EnsembleConfig, EnsembleTimeout};
+    use std::net::Ipv4Addr;
+
+    const MS: Nanos = 1_000_000;
+
+    fn key(port: u16) -> FlowKey {
+        FlowKey::new(Ipv4Addr::new(10, 0, 0, 1), port, Ipv4Addr::new(10, 9, 9, 9), 11211)
+    }
+
+    fn timing() -> EnsembleFlowState {
+        EnsembleTimeout::new(EnsembleConfig::default()).new_flow(0)
+    }
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut t = FlowTable::new(5_000 * MS);
+        assert!(t.is_empty());
+        t.insert(key(1000), 1, timing(), 0);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get_mut(&key(1000)).unwrap().backend, 1);
+        assert!(t.get_mut(&key(1001)).is_none());
+        assert!(t.remove(&key(1000)).is_some());
+        assert!(t.is_empty());
+        assert_eq!(t.stats.inserted, 1);
+        assert_eq!(t.stats.closed, 1);
+    }
+
+    #[test]
+    fn affinity_survives_updates() {
+        let mut t = FlowTable::new(5_000 * MS);
+        t.insert(key(1), 0, timing(), 0);
+        let e = t.get_mut(&key(1)).unwrap();
+        e.last_seen = 100;
+        e.packets += 1;
+        assert_eq!(t.get_mut(&key(1)).unwrap().backend, 0);
+        assert_eq!(t.get_mut(&key(1)).unwrap().packets, 1);
+    }
+
+    #[test]
+    fn sweep_expires_only_idle() {
+        let mut t = FlowTable::new(10 * MS);
+        t.insert(key(1), 0, timing(), 0);
+        t.insert(key(2), 1, timing(), 0);
+        t.get_mut(&key(2)).unwrap().last_seen = 95 * MS;
+        let removed = t.sweep(100 * MS);
+        assert_eq!(removed, 1);
+        assert!(t.get_mut(&key(1)).is_none(), "idle flow must be gone");
+        assert!(t.get_mut(&key(2)).is_some(), "active flow must stay");
+        assert_eq!(t.stats.expired, 1);
+    }
+
+    #[test]
+    fn per_backend_counts() {
+        let mut t = FlowTable::new(5_000 * MS);
+        t.insert(key(1), 0, timing(), 0);
+        t.insert(key(2), 1, timing(), 0);
+        t.insert(key(3), 1, timing(), 0);
+        assert_eq!(t.per_backend_counts(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn capacity_evicts_stalest_probed() {
+        let mut t = FlowTable::with_capacity(5_000 * MS, 4);
+        for (i, port) in (1u16..=4).enumerate() {
+            t.insert(key(port), 0, timing(), i as u64 * MS);
+        }
+        assert_eq!(t.len(), 4);
+        // A fifth insert evicts one (the stalest in the probe window).
+        t.insert(key(5), 1, timing(), 10 * MS);
+        assert_eq!(t.len(), 4, "capacity exceeded");
+        assert_eq!(t.stats.evicted, 1);
+        assert!(t.get_mut(&key(5)).is_some(), "new entry must be present");
+    }
+
+    #[test]
+    fn flood_of_inserts_stays_bounded() {
+        let mut t = FlowTable::with_capacity(5_000 * MS, 64);
+        for port in 0..10_000u64 {
+            t.insert(key(port as u16), 0, timing(), port);
+        }
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.stats.evicted, 10_000 - 64);
+    }
+
+    #[test]
+    fn reinsert_of_existing_key_does_not_evict() {
+        let mut t = FlowTable::with_capacity(5_000 * MS, 2);
+        t.insert(key(1), 0, timing(), 0);
+        t.insert(key(2), 0, timing(), 1);
+        t.insert(key(1), 0, timing(), 2); // same key: no eviction needed
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.stats.evicted, 0);
+    }
+
+    #[test]
+    fn duplicate_insert_keeps_original() {
+        let mut t = FlowTable::new(5_000 * MS);
+        t.insert(key(1), 0, timing(), 0);
+        t.insert(key(1), 1, timing(), 50);
+        assert_eq!(t.get_mut(&key(1)).unwrap().backend, 0, "affinity must not change");
+    }
+}

@@ -1,0 +1,55 @@
+//! The paper's contribution: in-band feedback control for load balancers.
+//!
+//! This crate implements, exactly as specified in *Load Balancers Need
+//! In-Band Feedback Control* (HotNets '22):
+//!
+//! * **Algorithm 1 — [`fixed_timeout::FixedTimeout`]**: segments a flow's
+//!   client→server packets into batches using a fixed inter-batch timeout
+//!   δ; the gap between the first packets of successive batches is an
+//!   estimate `T_LB` of the flow's response latency.
+//! * **Algorithm 2 — [`ensemble::EnsembleTimeout`]**: runs an ensemble of
+//!   exponentially spaced timeouts (δ₁ = 64 µs … δ₇ = 4 ms), counts samples
+//!   per timeout over an epoch (E = 64 ms), and picks the timeout at the
+//!   largest *sample cliff* (argmaxᵢ Nᵢ/Nᵢ₊₁) for the next epoch.
+//! * **The paper's controller — [`controller::AlphaShift`]**: moves a fixed
+//!   fraction α = 10% of traffic away from the highest-latency backend,
+//!   spread equally over the others.
+//!
+//! plus the infrastructure a deployable LB needs around them:
+//!
+//! * **[`maglev::MaglevTable`]**: the Maglev consistent-hashing table
+//!   (NSDI '16) used by the paper's Cilium/XDP testbed, extended with
+//!   weighted slot allocation so the controller can express traffic shares.
+//! * **[`flow_table::FlowTable`]**: per-connection affinity with idle
+//!   expiry — an existing connection keeps its backend even as weights move.
+//! * **[`estimator::BackendEstimator`]**: per-backend latency aggregation
+//!   (EWMA and a streaming p95) feeding the controllers.
+//! * **Alternative controllers** (§5 open question 4): AIMD and
+//!   latency-proportional weighting, for the controller-comparison
+//!   ablation.
+//!
+//! Everything here is simulator-agnostic: inputs are packet timestamps and
+//! flow keys; outputs are latency samples and weight vectors. The
+//! `lb-dataplane` crate binds it to the network simulator.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod controller;
+pub mod ensemble;
+pub mod estimator;
+pub mod fixed_timeout;
+pub mod flow_table;
+pub mod maglev;
+pub mod weights;
+
+pub use controller::{AimdController, AlphaShift, Controller, ProportionalController};
+pub use ensemble::{EnsembleConfig, EnsembleFlowState, EnsembleTimeout};
+pub use estimator::BackendEstimator;
+pub use fixed_timeout::{FixedTimeout, FlowTiming};
+pub use flow_table::{FlowEntry, FlowTable};
+pub use maglev::MaglevTable;
+pub use weights::Weights;
+
+/// Simulated time alias used throughout (nanoseconds since run start).
+pub type Nanos = u64;

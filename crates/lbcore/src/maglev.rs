@@ -1,0 +1,268 @@
+//! Maglev consistent hashing (Eisenbud et al., NSDI '16), with a weighted
+//! extension.
+//!
+//! The paper's testbed LB (Cilium XDP) uses Maglev to map connections to
+//! backends; the feedback controller expresses its traffic shift by
+//! changing backend *weights* and rebuilding the lookup table. This module
+//! implements:
+//!
+//! * the permutation-based table population of the original paper
+//!   (`offset`/`skip` from two independent hashes, each backend claiming
+//!   its next preferred empty slot in turn), and
+//! * a weighted variant in which backend *i* receives turns proportional
+//!   to its weight via a credit accumulator, so the final slot shares track
+//!   the weight vector to within one part in the table size.
+
+use netpkt::flow::splitmix64;
+
+/// A Maglev lookup table mapping hashes to backend indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaglevTable {
+    table: Vec<u32>,
+    backends: usize,
+}
+
+/// Returns true if `n` is prime (trial division; table sizes are small).
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The default table size: a prime large enough that a 10% weight change
+/// moves ≈400 slots (fine-grained), small enough to rebuild in tens of
+/// microseconds. The original paper uses 65537 for production tables.
+pub const DEFAULT_TABLE_SIZE: usize = 4093;
+
+impl MaglevTable {
+    /// Builds a table of `size` slots (must be prime and ≥ backends) over
+    /// `weights.len()` backends with the given relative weights.
+    ///
+    /// Backends are identified by their index; hashing salts each index so
+    /// permutations are independent. Weights must be non-negative and sum
+    /// to a positive value; a zero-weight backend receives no *new* slots.
+    ///
+    /// # Panics
+    /// Panics on an empty weight vector, non-prime size, or all-zero
+    /// weights.
+    pub fn build(weights: &[f64], size: usize) -> MaglevTable {
+        let n = weights.len();
+        assert!(n > 0, "at least one backend required");
+        assert!(is_prime(size as u64), "table size must be prime");
+        assert!(size >= n, "table smaller than backend count");
+        assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()), "weights must be >= 0");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one positive weight required");
+
+        // Per-backend permutation parameters (offset, skip), NSDI '16 §3.4.
+        let m = size as u64;
+        let mut offset = Vec::with_capacity(n);
+        let mut skip = Vec::with_capacity(n);
+        let mut next = vec![0u64; n]; // next index into each permutation
+        for b in 0..n {
+            let h1 = splitmix64(0x6d61_676c_6576_0001 ^ (b as u64).wrapping_mul(0x9e37_79b9));
+            let h2 = splitmix64(0x6d61_676c_6576_0002 ^ (b as u64).wrapping_mul(0x7f4a_7c15));
+            offset.push(h1 % m);
+            skip.push(h2 % (m - 1) + 1);
+        }
+
+        let mut table = vec![u32::MAX; size];
+        let mut filled = 0usize;
+        // Weighted turn-taking: each round, backend b accrues
+        // `weight_b / mean_weight` credits and claims one preferred slot
+        // per whole credit.
+        let mean = total / n as f64;
+        let mut credit = vec![0.0f64; n];
+        while filled < size {
+            let mut progressed = false;
+            for b in 0..n {
+                credit[b] += weights[b] / mean;
+                while credit[b] >= 1.0 && filled < size {
+                    credit[b] -= 1.0;
+                    // Claim the next empty slot in b's permutation.
+                    loop {
+                        let c = (offset[b] + next[b] * skip[b]) % m;
+                        next[b] += 1;
+                        let slot = c as usize;
+                        if table[slot] == u32::MAX {
+                            table[slot] = b as u32;
+                            filled += 1;
+                            progressed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            // All-zero-credit rounds cannot happen (total > 0), but guard
+            // against pathological float underflow.
+            if !progressed && credit.iter().all(|&c| c < 1.0) {
+                continue;
+            }
+        }
+        MaglevTable { table, backends: n }
+    }
+
+    /// Builds an equal-weight table (classic Maglev).
+    pub fn build_equal(backends: usize, size: usize) -> MaglevTable {
+        MaglevTable::build(&vec![1.0; backends], size)
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True if the table has no slots (never happens for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Number of backends the table was built over.
+    pub fn backends(&self) -> usize {
+        self.backends
+    }
+
+    /// Looks up the backend for a flow hash.
+    #[inline]
+    pub fn lookup(&self, hash: u64) -> usize {
+        self.table[(hash % self.table.len() as u64) as usize] as usize
+    }
+
+    /// The fraction of slots owned by each backend.
+    pub fn shares(&self) -> Vec<f64> {
+        let mut counts = vec![0usize; self.backends];
+        for &b in &self.table {
+            counts[b as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / self.table.len() as f64).collect()
+    }
+
+    /// Number of slots that differ between two same-size tables — the
+    /// *disruption* a table swap causes to connections without flow-table
+    /// entries.
+    pub fn slots_changed(&self, other: &MaglevTable) -> usize {
+        assert_eq!(self.len(), other.len(), "tables must be the same size");
+        self.table.iter().zip(&other.table).filter(|(a, b)| a != b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_balance() {
+        for n in [2usize, 3, 5, 10] {
+            let t = MaglevTable::build_equal(n, DEFAULT_TABLE_SIZE);
+            let shares = t.shares();
+            for (b, s) in shares.iter().enumerate() {
+                let expect = 1.0 / n as f64;
+                assert!(
+                    (s - expect).abs() < 0.01,
+                    "backend {b} of {n}: share {s} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shares_track_weights() {
+        let weights = [0.5, 0.3, 0.2];
+        let t = MaglevTable::build(&weights, DEFAULT_TABLE_SIZE);
+        let shares = t.shares();
+        for (w, s) in weights.iter().zip(&shares) {
+            assert!((w - s).abs() < 0.02, "weight {w} vs share {s}");
+        }
+    }
+
+    #[test]
+    fn extreme_skew_respected() {
+        let t = MaglevTable::build(&[0.9, 0.1], DEFAULT_TABLE_SIZE);
+        let shares = t.shares();
+        assert!((shares[0] - 0.9).abs() < 0.02);
+        assert!((shares[1] - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn zero_weight_backend_gets_nothing() {
+        let t = MaglevTable::build(&[1.0, 0.0, 1.0], DEFAULT_TABLE_SIZE);
+        let shares = t.shares();
+        assert_eq!(shares[1], 0.0);
+        assert!((shares[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_in_range() {
+        let t = MaglevTable::build_equal(4, 251);
+        for h in 0..10_000u64 {
+            let b = t.lookup(splitmix64(h));
+            assert!(b < 4);
+            assert_eq!(b, t.lookup(splitmix64(h)));
+        }
+    }
+
+    #[test]
+    fn small_weight_change_is_low_disruption() {
+        // Moving 10% of weight should remap roughly 10% of slots, not
+        // reshuffle the table — the consistent-hashing property that keeps
+        // un-tracked connections mostly unbroken.
+        let a = MaglevTable::build(&[1.0, 1.0], DEFAULT_TABLE_SIZE);
+        let b = MaglevTable::build(&[0.9, 1.1], DEFAULT_TABLE_SIZE);
+        let changed = a.slots_changed(&b) as f64 / a.len() as f64;
+        assert!(changed < 0.15, "disruption {changed} too high");
+        assert!(changed > 0.0, "tables identical — weights ignored");
+    }
+
+    #[test]
+    fn rebuild_identical_inputs_identical_tables() {
+        let a = MaglevTable::build(&[0.7, 0.3], 1021);
+        let b = MaglevTable::build(&[0.7, 0.3], 1021);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backend_removal_spreads_to_survivors() {
+        let a = MaglevTable::build_equal(3, DEFAULT_TABLE_SIZE);
+        let b = MaglevTable::build(&[1.0, 1.0, 0.0], DEFAULT_TABLE_SIZE);
+        // Every slot that pointed to backend 2 moved; slots of 0 and 1
+        // mostly did not.
+        let moved = a.slots_changed(&b) as f64 / a.len() as f64;
+        assert!(moved > 0.25 && moved < 0.45, "moved {moved}");
+        let shares = b.shares();
+        assert!((shares[0] - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn prime_checker() {
+        assert!(is_prime(2));
+        assert!(is_prime(251));
+        assert!(is_prime(4093));
+        assert!(is_prime(65537));
+        assert!(!is_prime(1));
+        assert!(!is_prime(4094));
+        assert!(!is_prime(65536));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be prime")]
+    fn non_prime_size_rejected() {
+        let _ = MaglevTable::build_equal(2, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive weight")]
+    fn all_zero_weights_rejected() {
+        let _ = MaglevTable::build(&[0.0, 0.0], 251);
+    }
+}

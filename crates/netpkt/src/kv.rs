@@ -1,0 +1,292 @@
+//! A compact memcached-like binary key-value protocol.
+//!
+//! This is the application protocol spoken between the workload generator
+//! (memtier-like clients) and the backend servers. It is a binary framing
+//! with a fixed 24-byte header followed by an optional value body, so a
+//! stream decoder can frame messages without lookahead.
+//!
+//! ```text
+//!  0      1     2      3         4            12           20          24
+//!  +------+-----+------+---------+------------+------------+-----------+
+//!  |magic | op  |status| reserved| request id  |   key id   | body len  |
+//!  +------+-----+------+---------+------------+------------+-----------+
+//!  | body (value bytes, `body len` long)                               |
+//!  +--------------------------------------------------------------------
+//! ```
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+use crate::{ParseError, Result};
+
+/// Size of the fixed message header.
+pub const KV_HEADER_LEN: usize = 24;
+
+/// Magic byte of a request message.
+pub const MAGIC_REQUEST: u8 = 0x80;
+/// Magic byte of a response message.
+pub const MAGIC_RESPONSE: u8 = 0x81;
+
+/// Operation carried by a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvOp {
+    /// Read a value.
+    Get,
+    /// Write a value.
+    Set,
+}
+
+impl KvOp {
+    fn to_wire(self) -> u8 {
+        match self {
+            KvOp::Get => 0,
+            KvOp::Set => 1,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(KvOp::Get),
+            1 => Ok(KvOp::Set),
+            other => Err(ParseError::Unsupported { field: "kv op", value: other as u32 }),
+        }
+    }
+}
+
+/// Response status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvStatus {
+    /// The operation succeeded.
+    Ok,
+    /// GET on a key that has not been SET.
+    Miss,
+}
+
+impl KvStatus {
+    fn to_wire(self) -> u8 {
+        match self {
+            KvStatus::Ok => 0,
+            KvStatus::Miss => 1,
+        }
+    }
+
+    fn from_wire(b: u8) -> Result<Self> {
+        match b {
+            0 => Ok(KvStatus::Ok),
+            1 => Ok(KvStatus::Miss),
+            other => Err(ParseError::Unsupported { field: "kv status", value: other as u32 }),
+        }
+    }
+}
+
+/// A framed key-value message (request or response).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KvMessage {
+    /// True for requests (client → server), false for responses.
+    pub is_request: bool,
+    /// Operation.
+    pub op: KvOp,
+    /// Response status (always `Ok` on requests).
+    pub status: KvStatus,
+    /// Client-chosen request identifier, echoed in the response. The
+    /// workload generator encodes issue timestamps elsewhere and uses this
+    /// id to match responses to requests.
+    pub request_id: u64,
+    /// Key identifier (the simulator uses integer keys).
+    pub key: u64,
+    /// Value length in bytes (GET requests carry 0; SET requests and GET
+    /// responses carry the value).
+    pub body_len: u32,
+}
+
+impl KvMessage {
+    /// Builds a GET request.
+    pub fn get(request_id: u64, key: u64) -> Self {
+        KvMessage {
+            is_request: true,
+            op: KvOp::Get,
+            status: KvStatus::Ok,
+            request_id,
+            key,
+            body_len: 0,
+        }
+    }
+
+    /// Builds a SET request with a `value_len`-byte value.
+    pub fn set(request_id: u64, key: u64, value_len: u32) -> Self {
+        KvMessage {
+            is_request: true,
+            op: KvOp::Set,
+            status: KvStatus::Ok,
+            request_id,
+            key,
+            body_len: value_len,
+        }
+    }
+
+    /// Builds the response to `req`, carrying `value_len` bytes (zero for
+    /// SET acknowledgments and misses).
+    pub fn response_to(req: &KvMessage, status: KvStatus, value_len: u32) -> Self {
+        KvMessage {
+            is_request: false,
+            op: req.op,
+            status,
+            request_id: req.request_id,
+            key: req.key,
+            body_len: value_len,
+        }
+    }
+
+    /// Total encoded length (header + body).
+    pub fn encoded_len(&self) -> usize {
+        KV_HEADER_LEN + self.body_len as usize
+    }
+
+    /// Serializes the message. The body is filled with a repeating pattern
+    /// derived from the key so that corruption is detectable in tests.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        buf.put_u8(if self.is_request { MAGIC_REQUEST } else { MAGIC_RESPONSE });
+        buf.put_u8(self.op.to_wire());
+        buf.put_u8(self.status.to_wire());
+        buf.put_u8(0);
+        buf.put_u64(self.request_id);
+        buf.put_u64(self.key);
+        buf.put_u32(self.body_len);
+        let fill = (self.key as u8).wrapping_add(0x5a);
+        buf.resize(self.encoded_len(), fill);
+        buf.freeze()
+    }
+
+    /// Decodes a message header from the front of `buf`. Returns the message
+    /// and the number of bytes consumed (header + body), or `None` when the
+    /// buffer does not yet hold a full message.
+    pub fn decode(buf: &[u8]) -> Result<Option<(KvMessage, usize)>> {
+        if buf.len() < KV_HEADER_LEN {
+            return Ok(None);
+        }
+        let magic = buf[0];
+        let is_request = match magic {
+            MAGIC_REQUEST => true,
+            MAGIC_RESPONSE => false,
+            other => {
+                return Err(ParseError::Unsupported { field: "kv magic", value: other as u32 })
+            }
+        };
+        let body_len = u32::from_be_bytes([buf[20], buf[21], buf[22], buf[23]]);
+        let total = KV_HEADER_LEN + body_len as usize;
+        if buf.len() < total {
+            return Ok(None);
+        }
+        let msg = KvMessage {
+            is_request,
+            op: KvOp::from_wire(buf[1])?,
+            status: KvStatus::from_wire(buf[2])?,
+            request_id: u64::from_be_bytes(buf[4..12].try_into().expect("slice length checked")),
+            key: u64::from_be_bytes(buf[12..20].try_into().expect("slice length checked")),
+            body_len,
+        };
+        Ok(Some((msg, total)))
+    }
+}
+
+/// An incremental stream decoder: push raw TCP payload bytes in, pull framed
+/// messages out. Tolerates messages split across arbitrary segment
+/// boundaries.
+#[derive(Debug, Default)]
+pub struct KvDecoder {
+    buf: BytesMut,
+}
+
+impl KvDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends newly received stream bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Attempts to frame the next message.
+    pub fn next_message(&mut self) -> Result<Option<KvMessage>> {
+        match KvMessage::decode(&self.buf)? {
+            Some((msg, consumed)) => {
+                let _ = self.buf.split_to(consumed);
+                Ok(Some(msg))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Number of buffered, not-yet-framed bytes.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for msg in [
+            KvMessage::get(42, 7),
+            KvMessage::set(43, 8, 100),
+            KvMessage::response_to(&KvMessage::get(42, 7), KvStatus::Ok, 64),
+            KvMessage::response_to(&KvMessage::get(1, 2), KvStatus::Miss, 0),
+        ] {
+            let bytes = msg.encode();
+            assert_eq!(bytes.len(), msg.encoded_len());
+            let (decoded, consumed) = KvMessage::decode(&bytes).unwrap().unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(consumed, bytes.len());
+        }
+    }
+
+    #[test]
+    fn decoder_handles_fragmentation() {
+        let m1 = KvMessage::set(1, 10, 33);
+        let m2 = KvMessage::get(2, 10);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&m1.encode());
+        stream.extend_from_slice(&m2.encode());
+
+        // Push one byte at a time; messages must come out intact and in order.
+        let mut dec = KvDecoder::new();
+        let mut out = Vec::new();
+        for b in &stream {
+            dec.push(std::slice::from_ref(b));
+            while let Some(msg) = dec.next_message().unwrap() {
+                out.push(msg);
+            }
+        }
+        assert_eq!(out, vec![m1, m2]);
+        assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn partial_header_yields_none() {
+        let mut dec = KvDecoder::new();
+        dec.push(&[MAGIC_REQUEST, 0, 0]);
+        assert_eq!(dec.next_message().unwrap(), None);
+        assert_eq!(dec.pending_bytes(), 3);
+    }
+
+    #[test]
+    fn bad_magic_is_error() {
+        let mut dec = KvDecoder::new();
+        dec.push(&[0x55; KV_HEADER_LEN]);
+        assert!(dec.next_message().is_err());
+    }
+
+    #[test]
+    fn response_echoes_request_id() {
+        let req = KvMessage::set(99, 5, 10);
+        let resp = KvMessage::response_to(&req, KvStatus::Ok, 0);
+        assert_eq!(resp.request_id, 99);
+        assert_eq!(resp.op, KvOp::Set);
+        assert!(!resp.is_request);
+    }
+}

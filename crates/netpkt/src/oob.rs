@@ -1,0 +1,57 @@
+//! The out-of-band signaling baseline (§2.3 of the paper).
+//!
+//! The paper argues that shipping performance data from servers to LBs
+//! out-of-band suffers from instrumentation burden and *staleness*. To
+//! test that argument rather than assume it, this module implements the
+//! alternative: a reporting agent on each backend periodically sends its
+//! locally measured request latency to the LB in a small UDP datagram,
+//! and the LB can be configured to drive its controller from those
+//! reports instead of in-band `T_LB` samples.
+//!
+//! Wire format (16 bytes): magic `"OOB1"`, backend id (u32 BE), latency
+//! in nanoseconds (u64 BE).
+
+/// Magic prefix of a report datagram.
+pub const REPORT_MAGIC: &[u8; 4] = b"OOB1";
+
+/// Size of an encoded report.
+pub const REPORT_LEN: usize = 16;
+
+/// Encodes a report payload.
+pub fn encode_report(backend_id: u32, latency_ns: u64) -> [u8; REPORT_LEN] {
+    let mut out = [0u8; REPORT_LEN];
+    out[0..4].copy_from_slice(REPORT_MAGIC);
+    out[4..8].copy_from_slice(&backend_id.to_be_bytes());
+    out[8..16].copy_from_slice(&latency_ns.to_be_bytes());
+    out
+}
+
+/// Decodes a report payload; `None` if it is not a well-formed report.
+pub fn parse_report(payload: &[u8]) -> Option<(u32, u64)> {
+    if payload.len() != REPORT_LEN || &payload[0..4] != REPORT_MAGIC {
+        return None;
+    }
+    let backend_id = u32::from_be_bytes(payload[4..8].try_into().expect("length checked"));
+    let latency_ns = u64::from_be_bytes(payload[8..16].try_into().expect("length checked"));
+    Some((backend_id, latency_ns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let buf = encode_report(3, 1_234_567);
+        assert_eq!(parse_report(&buf), Some((3, 1_234_567)));
+    }
+
+    #[test]
+    fn rejects_wrong_magic_or_length() {
+        let mut buf = encode_report(1, 2);
+        buf[0] = b'X';
+        assert_eq!(parse_report(&buf), None);
+        assert_eq!(parse_report(&buf[..15]), None);
+        assert_eq!(parse_report(&[]), None);
+    }
+}

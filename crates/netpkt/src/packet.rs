@@ -1,0 +1,251 @@
+//! The simulator's unit of transmission: a fully serialized frame plus a
+//! parsed view helper.
+
+use bytes::{Bytes, BytesMut};
+use std::net::Ipv4Addr;
+
+use crate::eth::{EthHeader, MacAddr, ETHERTYPE_IPV4, ETH_HEADER_LEN};
+use crate::ipv4::{Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
+use crate::tcp::{self, TcpFlags, TcpHeader, TCP_HEADER_LEN};
+use crate::Result;
+
+/// A packet in flight: real wire bytes (Ethernet + IPv4 + TCP + payload).
+///
+/// Cloning is cheap ([`Bytes`] is reference-counted); the simulator clones
+/// packets when tracing.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// The serialized frame.
+    pub data: Bytes,
+}
+
+impl Packet {
+    /// Wraps raw frame bytes.
+    pub fn from_bytes(data: Bytes) -> Self {
+        Packet { data }
+    }
+
+    /// Total frame length in bytes (what occupies link capacity).
+    pub fn wire_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Parses all three headers, verifying IPv4 and TCP checksums.
+    pub fn view(&self) -> Result<PacketView> {
+        PacketView::parse(&self.data)
+    }
+
+    /// Builds a full TCP/IPv4 frame.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_tcp(
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        src_ip: Ipv4Addr,
+        dst_ip: Ipv4Addr,
+        tcp_hdr: &TcpHeader,
+        payload: &[u8],
+        ttl: u8,
+        ident: u16,
+    ) -> Packet {
+        let total = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len();
+        let mut buf = BytesMut::with_capacity(total);
+        EthHeader { dst: dst_mac, src: src_mac, ethertype: ETHERTYPE_IPV4 }.emit(&mut buf);
+        let ip = Ipv4Header {
+            dscp_ecn: 0,
+            total_len: (IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len()) as u16,
+            ident,
+            ttl,
+            protocol: IPPROTO_TCP,
+            src: src_ip,
+            dst: dst_ip,
+        };
+        ip.emit(&mut buf);
+        tcp_hdr.emit(&mut buf);
+        buf.extend_from_slice(payload);
+        let mut bytes = buf;
+        let tcp_start = ETH_HEADER_LEN + IPV4_HEADER_LEN;
+        tcp::fill_checksum(&mut bytes, tcp_start, &ip);
+        Packet { data: bytes.freeze() }
+    }
+
+    /// Returns a copy with only the Ethernet addresses rewritten — the
+    /// forwarding operation of an L2/DSR load balancer: the VIP stays in
+    /// the IP header (it lives on the backend's loopback), so the backend
+    /// replies from the VIP directly to the client. No checksum work is
+    /// needed because MACs are outside both checksums.
+    pub fn with_macs(&self, src_mac: MacAddr, dst_mac: MacAddr) -> Packet {
+        let mut bytes = BytesMut::from(&self.data[..]);
+        bytes[0..6].copy_from_slice(&dst_mac.0);
+        bytes[6..12].copy_from_slice(&src_mac.0);
+        Packet { data: bytes.freeze() }
+    }
+
+    /// Returns a copy of this packet with the IPv4 destination address and
+    /// both MAC addresses rewritten (and checksums repaired) — the
+    /// forwarding operation of a NAT-mode LB (the source *IP* is preserved
+    /// so the backend sees the true client).
+    pub fn rewritten_dst(
+        &self,
+        new_dst_ip: Ipv4Addr,
+        new_src_mac: MacAddr,
+        new_dst_mac: MacAddr,
+        ttl_decrement: bool,
+    ) -> Packet {
+        let mut bytes = BytesMut::from(&self.data[..]);
+        bytes[0..6].copy_from_slice(&new_dst_mac.0);
+        bytes[6..12].copy_from_slice(&new_src_mac.0);
+        let ip_start = ETH_HEADER_LEN;
+        bytes[ip_start + 16..ip_start + 20].copy_from_slice(&new_dst_ip.octets());
+        if ttl_decrement {
+            bytes[ip_start + 8] = bytes[ip_start + 8].saturating_sub(1);
+        }
+        crate::ipv4::rewrite_checksum(&mut bytes[ip_start..]);
+        // Repair the TCP checksum (pseudo-header covers the dst address).
+        let ip = Ipv4Header::parse(&bytes[ip_start..]).expect("header was valid before rewrite");
+        let tcp_start = ip_start + IPV4_HEADER_LEN;
+        tcp::fill_checksum(&mut bytes, tcp_start, &ip);
+        Packet { data: bytes.freeze() }
+    }
+}
+
+/// A fully parsed view of a TCP/IPv4 frame.
+#[derive(Debug, Clone)]
+pub struct PacketView {
+    /// Ethernet header.
+    pub eth: EthHeader,
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// TCP header.
+    pub tcp: TcpHeader,
+    /// TCP payload bytes.
+    pub payload: Bytes,
+}
+
+impl PacketView {
+    /// Parses a frame, verifying both checksums.
+    pub fn parse(frame: &[u8]) -> Result<PacketView> {
+        let eth = EthHeader::parse(frame)?;
+        let ip_bytes = &frame[ETH_HEADER_LEN..];
+        let ip = Ipv4Header::parse(ip_bytes)?;
+        let l4_end = usize::from(ip.total_len);
+        let l4 = &ip_bytes[IPV4_HEADER_LEN..l4_end.min(ip_bytes.len())];
+        let tcp = TcpHeader::parse(l4, Some((&ip, l4)))?;
+        let payload_off = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
+        let payload_len = l4.len() - TCP_HEADER_LEN;
+        let payload = Bytes::copy_from_slice(&frame[payload_off..payload_off + payload_len]);
+        Ok(PacketView { eth, ip, tcp, payload })
+    }
+
+    /// The four-tuple of this packet's direction of travel.
+    pub fn flow(&self) -> crate::FlowKey {
+        crate::FlowKey::from_headers(&self.ip, &self.tcp)
+    }
+
+    /// Length of the TCP payload in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if any of SYN/FIN/RST is set (connection lifecycle packets).
+    pub fn is_lifecycle(&self) -> bool {
+        self.tcp.flags.contains(TcpFlags::SYN)
+            || self.tcp.flags.contains(TcpFlags::FIN)
+            || self.tcp.flags.contains(TcpFlags::RST)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build_sample(payload: &[u8]) -> Packet {
+        Packet::build_tcp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 9, 9),
+            &TcpHeader {
+                src_port: 50000,
+                dst_port: 11211,
+                seq: 100,
+                ack: 200,
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: 8192,
+            },
+            payload,
+            64,
+            42,
+        )
+    }
+
+    #[test]
+    fn build_and_parse_roundtrip() {
+        let pkt = build_sample(b"set k 0 0 3\r\nabc\r\n");
+        let view = pkt.view().unwrap();
+        assert_eq!(view.ip.src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(view.tcp.dst_port, 11211);
+        assert_eq!(&view.payload[..], b"set k 0 0 3\r\nabc\r\n");
+        assert_eq!(view.payload_len(), 18);
+        assert!(!view.is_lifecycle());
+    }
+
+    #[test]
+    fn wire_len_accounts_all_headers() {
+        let pkt = build_sample(b"xyz");
+        assert_eq!(pkt.wire_len(), ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + 3);
+    }
+
+    #[test]
+    fn rewrite_dst_preserves_src_and_payload() {
+        let pkt = build_sample(b"hello");
+        let new_ip = Ipv4Addr::new(10, 0, 2, 7);
+        let new_mac = MacAddr::from_id(77);
+        let lb_mac = MacAddr::from_id(55);
+        let fwd = pkt.rewritten_dst(new_ip, lb_mac, new_mac, true);
+        let view = fwd.view().unwrap(); // checksums must still verify
+        assert_eq!(view.ip.dst, new_ip);
+        assert_eq!(view.eth.dst, new_mac);
+        assert_eq!(view.eth.src, lb_mac);
+        assert_eq!(view.ip.src, Ipv4Addr::new(10, 0, 0, 1));
+        assert_eq!(view.ip.ttl, 63);
+        assert_eq!(&view.payload[..], b"hello");
+        // Flow key reflects the rewrite.
+        assert_eq!(view.flow().dst_ip, new_ip);
+    }
+
+    #[test]
+    fn with_macs_preserves_everything_else() {
+        let pkt = build_sample(b"payload");
+        let fwd = pkt.with_macs(MacAddr::from_id(9), MacAddr::from_id(10));
+        let view = fwd.view().unwrap(); // checksums still verify
+        assert_eq!(view.eth.src, MacAddr::from_id(9));
+        assert_eq!(view.eth.dst, MacAddr::from_id(10));
+        assert_eq!(view.ip.dst, Ipv4Addr::new(10, 0, 9, 9), "IP header untouched");
+        assert_eq!(&view.payload[..], b"payload");
+    }
+
+    #[test]
+    fn lifecycle_flags_detected() {
+        let mut pkt = build_sample(b"");
+        let view = pkt.view().unwrap();
+        assert!(!view.is_lifecycle());
+        pkt = Packet::build_tcp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 9, 9),
+            &TcpHeader {
+                src_port: 1,
+                dst_port: 2,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 100,
+            },
+            b"",
+            64,
+            0,
+        );
+        assert!(pkt.view().unwrap().is_lifecycle());
+    }
+}

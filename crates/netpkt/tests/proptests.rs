@@ -1,0 +1,211 @@
+//! Property-based tests for the wire formats.
+
+use bytes::BytesMut;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use netpkt::checksum::{checksum, Checksum};
+use netpkt::kv::{KvDecoder, KvMessage};
+use netpkt::{
+    EthHeader, FlowKey, Ipv4Header, MacAddr, Packet, TcpFlags, TcpHeader, ETHERTYPE_IPV4,
+    IPPROTO_TCP, IPV4_HEADER_LEN, TCP_HEADER_LEN,
+};
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_flags() -> impl Strategy<Value = TcpFlags> {
+    // Any combination of the five defined flag bits.
+    (0u8..32).prop_map(|b| TcpFlags(b & 0x1f))
+}
+
+proptest! {
+    #[test]
+    fn eth_roundtrip(dst in arb_mac(), src in arb_mac(), ethertype in any::<u16>()) {
+        let hdr = EthHeader { dst, src, ethertype };
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf);
+        prop_assert_eq!(EthHeader::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn ipv4_roundtrip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        total_len in 20u16..1500,
+        ident in any::<u16>(),
+        ttl in 1u8..=255,
+    ) {
+        let hdr = Ipv4Header {
+            dscp_ecn: 0,
+            total_len,
+            ident,
+            ttl,
+            protocol: IPPROTO_TCP,
+            src,
+            dst,
+        };
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf);
+        prop_assert_eq!(Ipv4Header::parse(&buf).unwrap(), hdr);
+    }
+
+    #[test]
+    fn ipv4_single_bitflip_detected(
+        src in arb_ip(),
+        dst in arb_ip(),
+        byte in 0usize..IPV4_HEADER_LEN,
+        bit in 0u8..8,
+    ) {
+        let hdr = Ipv4Header {
+            dscp_ecn: 0, total_len: 40, ident: 7, ttl: 64,
+            protocol: IPPROTO_TCP, src, dst,
+        };
+        let mut buf = BytesMut::new();
+        hdr.emit(&mut buf);
+        let mut bytes = buf.to_vec();
+        bytes[byte] ^= 1 << bit;
+        // Either the parse fails (checksum/shape) or — impossible for a
+        // single flip in a one's-complement sum — it yields the original.
+        if let Ok(parsed) = Ipv4Header::parse(&bytes) {
+            prop_assert_ne!(parsed, hdr, "flip at {}:{} went unnoticed", byte, bit);
+        }
+    }
+
+    #[test]
+    fn tcp_roundtrip_with_payload(
+        src_port in any::<u16>(),
+        dst_port in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        flags in arb_flags(),
+        window in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let pkt = Packet::build_tcp(
+            MacAddr::from_id(1),
+            MacAddr::from_id(2),
+            Ipv4Addr::new(10, 0, 0, 1),
+            Ipv4Addr::new(10, 0, 0, 2),
+            &TcpHeader { src_port, dst_port, seq, ack, flags, window },
+            &payload,
+            64,
+            1,
+        );
+        let view = pkt.view().unwrap();
+        prop_assert_eq!(view.tcp.src_port, src_port);
+        prop_assert_eq!(view.tcp.dst_port, dst_port);
+        prop_assert_eq!(view.tcp.seq, seq);
+        prop_assert_eq!(view.tcp.ack, ack);
+        prop_assert_eq!(view.tcp.flags, flags);
+        prop_assert_eq!(&view.payload[..], &payload[..]);
+        prop_assert_eq!(pkt.wire_len(), 14 + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len());
+    }
+
+    #[test]
+    fn fast_parse_agrees_with_full_parse(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        flags in arb_flags(),
+    ) {
+        let pkt = Packet::build_tcp(
+            MacAddr::from_id(1), MacAddr::from_id(2), src, dst,
+            &TcpHeader { src_port: sport, dst_port: dport, seq: 0, ack: 0, flags, window: 1 },
+            b"x", 64, 0,
+        );
+        let (key, fast_flags) = FlowKey::parse_with_flags(&pkt.data).unwrap();
+        let view = pkt.view().unwrap();
+        prop_assert_eq!(key, view.flow());
+        prop_assert_eq!(fast_flags, view.tcp.flags);
+    }
+
+    #[test]
+    fn mac_rewrite_never_corrupts(
+        src in arb_ip(),
+        dst in arb_ip(),
+        m1 in arb_mac(),
+        m2 in arb_mac(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let pkt = Packet::build_tcp(
+            MacAddr::from_id(1), MacAddr::from_id(2), src, dst,
+            &TcpHeader { src_port: 1, dst_port: 2, seq: 3, ack: 4, flags: TcpFlags::ACK, window: 5 },
+            &payload, 64, 9,
+        );
+        let fwd = pkt.with_macs(m1, m2);
+        let view = fwd.view().unwrap(); // checksums must verify
+        prop_assert_eq!(view.eth.src, m1);
+        prop_assert_eq!(view.eth.dst, m2);
+        prop_assert_eq!(view.ip.src, src);
+        prop_assert_eq!(view.ip.dst, dst);
+        prop_assert_eq!(&view.payload[..], &payload[..]);
+    }
+
+    #[test]
+    fn checksum_split_invariance(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+    ) {
+        let cut_a = cut_a.min(data.len());
+        let cut_b = cut_b.min(data.len()).max(cut_a);
+        let mut acc = Checksum::new();
+        acc.add_bytes(&data[..cut_a]);
+        acc.add_bytes(&data[cut_a..cut_b]);
+        acc.add_bytes(&data[cut_b..]);
+        prop_assert_eq!(acc.finish(), checksum(&data));
+    }
+
+    #[test]
+    fn kv_stream_survives_arbitrary_fragmentation(
+        msgs in proptest::collection::vec((any::<bool>(), any::<u64>(), any::<u64>(), 0u32..128), 1..8),
+        cuts in proptest::collection::vec(1usize..64, 0..32),
+    ) {
+        let messages: Vec<KvMessage> = msgs
+            .iter()
+            .map(|&(get, id, key, len)| if get { KvMessage::get(id, key) } else { KvMessage::set(id, key, len) })
+            .collect();
+        let mut stream = Vec::new();
+        for m in &messages {
+            stream.extend_from_slice(&m.encode());
+        }
+        // Split the stream at pseudo-random cut sizes.
+        let cuts = if cuts.is_empty() { vec![7] } else { cuts };
+        let mut dec = KvDecoder::new();
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        let mut cut_iter = cuts.iter().cycle();
+        while pos < stream.len() {
+            let take = (*cut_iter.next().expect("cycle of non-empty vec")).min(stream.len() - pos);
+            dec.push(&stream[pos..pos + take]);
+            pos += take;
+            while let Some(m) = dec.next_message().unwrap() {
+                out.push(m);
+            }
+        }
+        prop_assert_eq!(out, messages);
+        prop_assert_eq!(dec.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn flow_key_hash_agrees_on_reversal_distinctness(
+        src in arb_ip(), dst in arb_ip(), sport in any::<u16>(), dport in any::<u16>(),
+    ) {
+        let k = FlowKey::new(src, sport, dst, dport);
+        prop_assert_eq!(k.reversed().reversed(), k);
+        // Identical tuples hash identically (used as Maglev input).
+        prop_assert_eq!(k.stable_hash(), FlowKey::new(src, sport, dst, dport).stable_hash());
+    }
+}
+
+#[test]
+fn ethertype_constant_sane() {
+    assert_eq!(ETHERTYPE_IPV4, 0x0800);
+}

@@ -1,0 +1,169 @@
+//! The event queue: a binary heap with a total, deterministic order.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use netpkt::Packet;
+
+use crate::link::LinkId;
+use crate::node::{NodeId, TimerToken};
+use crate::time::Time;
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub enum EventKind {
+    /// A packet finishes propagating and is delivered to `node` on `link`.
+    Deliver {
+        /// Receiving node.
+        node: NodeId,
+        /// Link the packet arrives on.
+        link: LinkId,
+        /// The packet itself.
+        pkt: Packet,
+    },
+    /// A timer armed by `node` fires.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// The token the node armed the timer with.
+        token: TimerToken,
+    },
+    /// A scripted change to a link's propagation delay (used by experiments
+    /// to inject latency at a precise instant, e.g. "+1 ms at t = 100 s").
+    SetLinkExtraDelay {
+        /// The link to modify.
+        link: LinkId,
+        /// Direction: true for the a→b direction, false for b→a.
+        a_to_b: bool,
+        /// New *additional* propagation delay in nanoseconds (on top of the
+        /// link's configured base delay).
+        extra_nanos: u64,
+    },
+}
+
+/// An event with its firing time and tie-breaking sequence number.
+#[derive(Debug)]
+pub struct Event {
+    /// When the event fires.
+    pub at: Time,
+    /// Queue insertion order; breaks ties among simultaneous events.
+    pub seq: u64,
+    /// The action.
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest event is popped
+        // first, with the lowest sequence number winning ties.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `kind` to fire at `at`.
+    pub fn push(&mut self, at: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pops the next event in `(time, seq)` order.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// The firing time of the next event, if any.
+    pub fn peek_time(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, token: u64) -> EventKind {
+        EventKind::Timer { node: NodeId(node), token: TimerToken(token) }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(30), timer(0, 3));
+        q.push(Time::from_nanos(10), timer(0, 1));
+        q.push(Time::from_nanos(20), timer(0, 2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(Time::from_nanos(5), timer(0, i));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(Time::from_nanos(7), timer(0, 0));
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

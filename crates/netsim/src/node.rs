@@ -1,0 +1,110 @@
+//! The [`Node`] trait and the context handed to nodes on every callback.
+
+use std::any::Any;
+
+use netpkt::Packet;
+
+use crate::event::{EventKind, EventQueue};
+use crate::link::{Link, LinkId, TxOutcome};
+use crate::time::{Duration, Time};
+use crate::trace::{Trace, TraceKind};
+
+/// Identifies a node within a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// An opaque timer identifier chosen by the node that arms the timer.
+///
+/// Timers are *not* cancellable; nodes implement cancellation lazily by
+/// ignoring stale tokens (the standard discrete-event idiom — it keeps the
+/// queue a plain heap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerToken(pub u64);
+
+/// A packet processor living at a vertex of the simulated topology.
+///
+/// Nodes must be `Any` so that experiment code can downcast them back to
+/// their concrete type after a run to harvest measurements.
+pub trait Node: Any {
+    /// Called once when the simulation starts, before any packets move.
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a packet is delivered to this node.
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, link: LinkId, pkt: Packet);
+
+    /// Called when a timer armed via [`Ctx::arm_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken);
+}
+
+/// The simulation facilities available to a node during a callback.
+pub struct Ctx<'a> {
+    pub(crate) now: Time,
+    pub(crate) node: NodeId,
+    pub(crate) queue: &'a mut EventQueue,
+    pub(crate) links: &'a mut [Link],
+    pub(crate) trace: &'a mut Trace,
+}
+
+impl Ctx<'_> {
+    /// The current simulated time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Transmits `pkt` on `link`. The packet is delivered to the peer after
+    /// serialization + propagation, or silently dropped if the link's
+    /// transmit queue is full (drop counters are kept per link direction).
+    ///
+    /// # Panics
+    /// Panics if this node is not an endpoint of `link`.
+    pub fn send(&mut self, link: LinkId, pkt: Packet) {
+        let l = &mut self.links[link.0 as usize];
+        let peer = l.peer_of(self.node);
+        match l.transmit(self.node, pkt.wire_len(), self.now) {
+            TxOutcome::DeliverAt(at) => {
+                self.trace.record(self.now, self.node, TraceKind::Send, link, &pkt);
+                self.queue.push(at, EventKind::Deliver { node: peer, link, pkt });
+            }
+            TxOutcome::Dropped => {
+                self.trace.record(self.now, self.node, TraceKind::Drop, link, &pkt);
+            }
+        }
+    }
+
+    /// Arms a timer that fires `after` from now, delivering `token` to
+    /// [`Node::on_timer`].
+    pub fn arm_timer(&mut self, after: Duration, token: TimerToken) {
+        self.queue
+            .push(self.now + after, EventKind::Timer { node: self.node, token });
+    }
+
+    /// Arms a timer at an absolute instant (must not be in the past).
+    pub fn arm_timer_at(&mut self, at: Time, token: TimerToken) {
+        debug_assert!(at >= self.now, "timer armed in the past");
+        self.queue.push(at, EventKind::Timer { node: self.node, token });
+    }
+
+    /// Current additional injected delay on `link` in the direction away
+    /// from this node (experiments use this to verify injection schedules).
+    pub fn link_extra_delay(&self, link: LinkId) -> Duration {
+        self.links[link.0 as usize].dir(self.node).extra_delay
+    }
+
+    /// The node at the far end of `link`.
+    pub fn peer_of(&self, link: LinkId) -> NodeId {
+        self.links[link.0 as usize].peer_of(self.node)
+    }
+}

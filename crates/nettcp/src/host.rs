@@ -1,0 +1,536 @@
+//! A simulated end host: one access link, a TCP-like stack, and an
+//! application.
+//!
+//! The host implements [`netsim::Node`], demultiplexes incoming frames to
+//! connections by four-tuple, pumps connection output queues into packets,
+//! and dispatches connection events to its [`App`]. It also owns the
+//! host-level realism knobs: receive-path jitter (modeling interrupt and
+//! scheduling noise) and extra local addresses (a backend accepting
+//! VIP-addressed connections under DSR replies with the VIP as source).
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::net::Ipv4Addr;
+
+use netpkt::{FlowKey, MacAddr, Packet, PacketView, TcpHeader};
+use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::app::{App, ConnId, HostIo};
+use crate::config::TcpConfig;
+use crate::conn::{Conn, ConnEvent, TimerKind, TimerRequest};
+
+/// Timer-token tags (top 2 bits of the token).
+const TAG_CONN: u64 = 0;
+const TAG_APP: u64 = 1;
+const TAG_RX: u64 = 2;
+
+fn conn_token(idx: usize, kind: TimerKind, gen: u32) -> u64 {
+    (TAG_CONN << 62) | ((idx as u64) << 34) | ((kind.index() as u64) << 32) | u64::from(gen)
+}
+
+/// Host configuration.
+#[derive(Debug, Clone)]
+pub struct HostConfig {
+    /// Primary local address (used as source for client connections).
+    pub ip: Ipv4Addr,
+    /// Additional accepted local addresses (VIPs under DSR).
+    pub extra_ips: Vec<Ipv4Addr>,
+    /// Transport parameters for all connections of this host.
+    pub tcp: TcpConfig,
+    /// Uniform receive-path processing jitter `(min, max)`, modeling
+    /// interrupt/scheduler noise. `None` disables it. Per-host ordering is
+    /// preserved (jittered packets never reorder).
+    pub rx_jitter: Option<(Duration, Duration)>,
+    /// Rare long receive-path stalls `(probability, length)`, modeling
+    /// preemption/GC events of hundreds of µs to ms (§2.2 of the paper).
+    /// Applied on top of `rx_jitter` per packet. Requires `rx_jitter` to
+    /// be set (the stall rides the same deferred-processing queue).
+    pub rx_spike: Option<(f64, Duration)>,
+    /// RNG seed for this host (jitter, ISS, ephemeral ports).
+    pub seed: u64,
+}
+
+impl HostConfig {
+    /// A host with default TCP parameters and no jitter.
+    pub fn new(ip: Ipv4Addr, seed: u64) -> Self {
+        HostConfig {
+            ip,
+            extra_ips: Vec::new(),
+            tcp: TcpConfig::default(),
+            rx_jitter: None,
+            rx_spike: None,
+            seed,
+        }
+    }
+}
+
+/// Host-level counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct HostStats {
+    /// Frames received (before jitter queueing).
+    pub packets_in: u64,
+    /// Frames sent.
+    pub packets_out: u64,
+    /// Frames that matched no connection or listener.
+    pub no_match: u64,
+    /// Frames that failed to parse or verify checksums.
+    pub parse_errors: u64,
+    /// Connections opened (client + accepted).
+    pub conns_opened: u64,
+    /// Connections fully closed and reaped.
+    pub conns_closed: u64,
+    /// Segments retransmitted, summed over reaped connections.
+    pub retransmits: u64,
+    /// RTO events, summed over reaped connections.
+    pub timeouts: u64,
+    /// RSTs sent in response to unmatched segments.
+    pub rsts_sent: u64,
+}
+
+/// A simulated end host. See the module docs.
+pub struct Host {
+    cfg: HostConfig,
+    mac: MacAddr,
+    uplink: LinkId,
+    conns: Vec<Option<Conn>>,
+    /// Generation of the armed timer per (conn, kind); 0 = disarmed.
+    armed: Vec<[u32; 3]>,
+    by_flow: HashMap<FlowKey, usize>,
+    /// Local ports of live client connections (ephemeral-port recycling).
+    ports_in_use: HashSet<u16>,
+    listeners: HashSet<u16>,
+    app: Option<Box<dyn App>>,
+    rng: StdRng,
+    next_port: u16,
+    next_ident: u16,
+    next_gen: u32,
+    pending: VecDeque<usize>,
+    /// Jittered receive queue: (ready time, packet); ready times are
+    /// monotone, so a deque suffices.
+    rx_queue: VecDeque<(Time, Packet)>,
+    last_rx_ready: Time,
+    /// Counters.
+    pub stats: HostStats,
+}
+
+impl Host {
+    /// Creates a host attached to `uplink`, running `app`.
+    pub fn new(cfg: HostConfig, mac: MacAddr, uplink: LinkId, app: Box<dyn App>) -> Host {
+        let seed = cfg.seed;
+        Host {
+            cfg,
+            mac,
+            uplink,
+            conns: Vec::new(),
+            armed: Vec::new(),
+            by_flow: HashMap::new(),
+            ports_in_use: HashSet::new(),
+            listeners: HashSet::new(),
+            app: Some(app),
+            rng: StdRng::seed_from_u64(seed),
+            next_port: 33_000,
+            next_ident: 1,
+            next_gen: 1,
+            pending: VecDeque::new(),
+            rx_queue: VecDeque::new(),
+            last_rx_ready: Time::ZERO,
+            stats: HostStats::default(),
+        }
+    }
+
+    /// Immutable access to a connection (tests and experiments).
+    pub fn conn(&self, id: ConnId) -> Option<&Conn> {
+        self.conns.get(id.0 as usize).and_then(|c| c.as_ref())
+    }
+
+    /// Number of live connections.
+    pub fn live_conns(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Downcast helper: immutable access to the hosted application.
+    pub fn app_ref<T: App>(&self) -> Option<&T> {
+        let app = self.app.as_deref()?;
+        (app as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    fn is_local_ip(&self, ip: Ipv4Addr) -> bool {
+        ip == self.cfg.ip || self.cfg.extra_ips.contains(&ip)
+    }
+
+    fn alloc_conn(&mut self, conn: Conn) -> usize {
+        self.stats.conns_opened += 1;
+        // Reuse a free slot if available; stale timers are fenced by
+        // generation counters, which are global and never reused.
+        if let Some(idx) = self.conns.iter().position(|c| c.is_none()) {
+            self.conns[idx] = Some(conn);
+            self.armed[idx] = [0; 3];
+            idx
+        } else {
+            self.conns.push(Some(conn));
+            self.armed.push([0; 3]);
+            self.conns.len() - 1
+        }
+    }
+
+    fn incoming_key(conn: &Conn) -> FlowKey {
+        let (lip, lport) = conn.local();
+        let (rip, rport) = conn.remote();
+        FlowKey::new(rip, rport, lip, lport)
+    }
+
+    // ------------------------------------------------------------- packet path
+
+    fn process_frame(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let view = match PacketView::parse(&pkt.data) {
+            Ok(v) => v,
+            Err(_) => {
+                self.stats.parse_errors += 1;
+                return;
+            }
+        };
+        if !self.is_local_ip(view.ip.dst) {
+            self.stats.no_match += 1;
+            return;
+        }
+        let key = view.flow();
+        if let Some(&idx) = self.by_flow.get(&key) {
+            if let Some(conn) = self.conns[idx].as_mut() {
+                conn.on_segment(ctx.now(), &view.tcp, view.payload);
+                self.enqueue(idx);
+                self.drain_work(ctx);
+                return;
+            }
+        }
+        // No existing connection: a SYN to a listening port opens one.
+        let flags = view.tcp.flags;
+        if flags.is_syn_only() && self.listeners.contains(&view.tcp.dst_port) {
+            let iss: u32 = self.rng.gen();
+            let conn = Conn::server_accept(
+                (view.ip.dst, view.tcp.dst_port),
+                (view.ip.src, view.tcp.src_port),
+                self.cfg.tcp,
+                iss,
+                view.tcp.seq,
+                ctx.now(),
+            );
+            let idx = self.alloc_conn(conn);
+            self.by_flow.insert(key, idx);
+            self.enqueue(idx);
+            self.drain_work(ctx);
+            return;
+        }
+        self.stats.no_match += 1;
+        // Reset unmatched segments (standard TCP behaviour): without this,
+        // a peer whose final-ACK was lost would retransmit its FIN against
+        // a reaped connection forever. Never answer a RST with a RST.
+        if !flags.contains(netpkt::TcpFlags::RST) {
+            self.stats.rsts_sent += 1;
+            let seq = if flags.contains(netpkt::TcpFlags::ACK) { view.tcp.ack } else { 0 };
+            let mut ack = view.tcp.seq.wrapping_add(view.payload.len() as u32);
+            if flags.contains(netpkt::TcpFlags::SYN) || flags.contains(netpkt::TcpFlags::FIN) {
+                ack = ack.wrapping_add(1);
+            }
+            let ident = self.next_ident;
+            self.next_ident = self.next_ident.wrapping_add(1);
+            let rst = Packet::build_tcp(
+                self.mac,
+                MacAddr::from_id(0),
+                view.ip.dst,
+                view.ip.src,
+                &TcpHeader {
+                    src_port: view.tcp.dst_port,
+                    dst_port: view.tcp.src_port,
+                    seq,
+                    ack,
+                    flags: netpkt::TcpFlags::RST | netpkt::TcpFlags::ACK,
+                    window: 0,
+                },
+                &[],
+                64,
+                ident,
+            );
+            self.stats.packets_out += 1;
+            ctx.send(self.uplink, rst);
+        }
+    }
+
+    fn enqueue(&mut self, idx: usize) {
+        self.pending.push_back(idx);
+    }
+
+    /// Pumps pending connection output: segments → packets, timer requests
+    /// → node timers, events → application callbacks (which may generate
+    /// more work; the loop runs until quiescent).
+    fn drain_work(&mut self, ctx: &mut Ctx<'_>) {
+        while let Some(idx) = self.pending.pop_front() {
+            let Some(conn) = self.conns[idx].as_mut() else { continue };
+            let segs = conn.take_segments();
+            let reqs = conn.take_timer_requests();
+            let events = conn.take_events();
+
+            for seg in &segs {
+                let pkt = self.build_packet(idx, seg);
+                self.stats.packets_out += 1;
+                ctx.send(self.uplink, pkt);
+            }
+            for req in reqs {
+                match req {
+                    TimerRequest::Arm(kind, at) => {
+                        let gen = self.next_gen;
+                        self.next_gen = self.next_gen.wrapping_add(1).max(1);
+                        self.armed[idx][kind.index()] = gen;
+                        // Timers armed "now or earlier" still fire (at now).
+                        let at = at.max(ctx.now());
+                        ctx.arm_timer_at(at, TimerToken(conn_token(idx, kind, gen)));
+                    }
+                    TimerRequest::Cancel(kind) => {
+                        self.armed[idx][kind.index()] = 0;
+                    }
+                }
+            }
+            for ev in events {
+                self.dispatch_event(ctx, idx, ev);
+            }
+
+            let Some(conn) = self.conns[idx].as_mut() else { continue };
+            if conn.has_output() {
+                self.pending.push_back(idx);
+            } else if conn.is_closed() {
+                let key = Self::incoming_key(conn);
+                self.stats.retransmits += conn.stats.retransmits;
+                self.stats.timeouts += conn.stats.timeouts;
+                self.ports_in_use.remove(&conn.local().1);
+                self.by_flow.remove(&key);
+                self.conns[idx] = None;
+                self.armed[idx] = [0; 3];
+                self.stats.conns_closed += 1;
+            }
+        }
+    }
+
+    fn dispatch_event(&mut self, ctx: &mut Ctx<'_>, idx: usize, ev: ConnEvent) {
+        let mut app = self.app.take().expect("app re-entrancy");
+        {
+            let mut io = Io { host: self, ctx };
+            let id = ConnId(idx as u32);
+            match ev {
+                ConnEvent::Connected => app.on_connected(&mut io, id),
+                ConnEvent::Data(bytes) => app.on_data(&mut io, id, &bytes),
+                ConnEvent::RttSample(rtt) => app.on_rtt_sample(&mut io, id, rtt),
+                ConnEvent::Closed => app.on_closed(&mut io, id),
+            }
+        }
+        self.app = Some(app);
+    }
+
+    fn build_packet(&mut self, idx: usize, seg: &crate::conn::SegmentOut) -> Packet {
+        let conn = self.conns[idx].as_ref().expect("segment from live conn");
+        let (lip, lport) = conn.local();
+        let (rip, rport) = conn.remote();
+        let ident = self.next_ident;
+        self.next_ident = self.next_ident.wrapping_add(1);
+        Packet::build_tcp(
+            self.mac,
+            MacAddr::from_id(0), // next hop resolves by routing, not MAC
+            lip,
+            rip,
+            &TcpHeader {
+                src_port: lport,
+                dst_port: rport,
+                seq: seg.seq,
+                ack: seg.ack,
+                flags: seg.flags,
+                window: seg.window,
+            },
+            &seg.payload,
+            64,
+            ident,
+        )
+    }
+}
+
+impl Node for Host {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let mut app = self.app.take().expect("app present at start");
+        {
+            let mut io = Io { host: self, ctx };
+            app.on_start(&mut io);
+        }
+        self.app = Some(app);
+        self.drain_work(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, _link: LinkId, pkt: Packet) {
+        self.stats.packets_in += 1;
+        match self.cfg.rx_jitter {
+            None => self.process_frame(ctx, pkt),
+            Some((lo, hi)) => {
+                let span = hi.as_nanos().saturating_sub(lo.as_nanos());
+                let extra = if span == 0 { 0 } else { self.rng.gen_range(0..=span) };
+                let mut jitter = lo + Duration::from_nanos(extra);
+                if let Some((prob, len)) = self.cfg.rx_spike {
+                    if self.rng.gen_bool(prob.clamp(0.0, 1.0)) {
+                        jitter += len;
+                    }
+                }
+                // Monotone ready times preserve per-host packet order.
+                let ready = (ctx.now() + jitter).max(self.last_rx_ready);
+                self.last_rx_ready = ready;
+                self.rx_queue.push_back((ready, pkt));
+                ctx.arm_timer_at(ready, TimerToken(TAG_RX << 62));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
+        let tag = token.0 >> 62;
+        match tag {
+            TAG_CONN => {
+                let idx = ((token.0 >> 34) & 0x0fff_ffff) as usize;
+                let kind_idx = ((token.0 >> 32) & 0x3) as usize;
+                let gen = (token.0 & 0xffff_ffff) as u32;
+                if self.armed.get(idx).map(|a| a[kind_idx]) != Some(gen) {
+                    return; // stale or cancelled
+                }
+                self.armed[idx][kind_idx] = 0;
+                let Some(conn) = self.conns[idx].as_mut() else { return };
+                match kind_idx {
+                    0 => conn.on_rto(ctx.now()),
+                    1 => conn.on_delack(ctx.now()),
+                    _ => conn.on_pace(ctx.now()),
+                }
+                self.enqueue(idx);
+                self.drain_work(ctx);
+            }
+            TAG_APP => {
+                let app_token = token.0 & ((1 << 62) - 1);
+                let mut app = self.app.take().expect("app re-entrancy");
+                {
+                    let mut io = Io { host: self, ctx };
+                    app.on_app_timer(&mut io, app_token);
+                }
+                self.app = Some(app);
+                self.drain_work(ctx);
+            }
+            TAG_RX => {
+                while let Some(&(ready, _)) = self.rx_queue.front() {
+                    if ready > ctx.now() {
+                        break;
+                    }
+                    let (_, pkt) = self.rx_queue.pop_front().expect("peeked front");
+                    self.process_frame(ctx, pkt);
+                }
+            }
+            _ => unreachable!("unknown timer tag"),
+        }
+    }
+}
+
+/// The [`HostIo`] view handed to application callbacks.
+struct Io<'a, 'c> {
+    host: &'a mut Host,
+    ctx: &'a mut Ctx<'c>,
+}
+
+impl HostIo for Io<'_, '_> {
+    fn now(&self) -> Time {
+        self.ctx.now()
+    }
+
+    fn connect(&mut self, remote_ip: Ipv4Addr, remote_port: u16) -> ConnId {
+        // Ephemeral port allocation with recycling: scan from next_port,
+        // wrapping at the top of the range, skipping live ports. (A reused
+        // port is safe: the previous connection with it was fully closed
+        // on our side, and the peer's old state answers stray segments
+        // with RSTs at worst.)
+        const PORT_MIN: u16 = 33_000;
+        let mut port = self.host.next_port.max(PORT_MIN);
+        for _ in 0..=u16::MAX {
+            if !self.host.ports_in_use.contains(&port) {
+                break;
+            }
+            port = if port == u16::MAX { PORT_MIN } else { port + 1 };
+        }
+        assert!(!self.host.ports_in_use.contains(&port), "ephemeral ports exhausted");
+        self.host.next_port = if port == u16::MAX { PORT_MIN } else { port + 1 };
+        self.host.ports_in_use.insert(port);
+        let iss: u32 = self.host.rng.gen();
+        let conn = Conn::client(
+            (self.host.cfg.ip, port),
+            (remote_ip, remote_port),
+            self.host.cfg.tcp,
+            iss,
+            self.ctx.now(),
+        );
+        let key = Host::incoming_key(&conn);
+        let idx = self.host.alloc_conn(conn);
+        self.host.by_flow.insert(key, idx);
+        self.host.enqueue(idx);
+        ConnId(idx as u32)
+    }
+
+    fn listen(&mut self, port: u16) {
+        self.host.listeners.insert(port);
+    }
+
+    fn send(&mut self, conn: ConnId, data: &[u8]) {
+        let idx = conn.0 as usize;
+        let c = self.host.conns[idx].as_mut().unwrap_or_else(|| panic!("send on dead {conn}"));
+        c.app_send(self.ctx.now(), data);
+        self.host.enqueue(idx);
+    }
+
+    fn close(&mut self, conn: ConnId) {
+        let idx = conn.0 as usize;
+        if let Some(c) = self.host.conns[idx].as_mut() {
+            c.app_close(self.ctx.now());
+            self.host.enqueue(idx);
+        }
+    }
+
+    fn arm_app_timer(&mut self, after: Duration, token: u64) {
+        assert!(token < (1 << 62), "app timer tokens must fit in 62 bits");
+        self.ctx.arm_timer(after, TimerToken((TAG_APP << 62) | token));
+    }
+
+    fn send_backlog(&self, conn: ConnId) -> usize {
+        self.host.conns[conn.0 as usize]
+            .as_ref()
+            .map(|c| c.send_backlog())
+            .unwrap_or(0)
+    }
+
+    fn send_datagram(&mut self, dst_ip: Ipv4Addr, dst_port: u16, payload: &[u8]) {
+        let ident = self.host.next_ident;
+        self.host.next_ident = self.host.next_ident.wrapping_add(1);
+        let pkt = netpkt::udp::build_udp_payload(
+            self.host.mac,
+            MacAddr::from_id(0),
+            self.host.cfg.ip,
+            dst_ip,
+            49_999, // fixed agent source port; nothing replies to it
+            dst_port,
+            payload,
+            ident,
+        );
+        self.host.stats.packets_out += 1;
+        self.ctx.send(self.host.uplink, pkt);
+    }
+
+    fn local_addr(&self, conn: ConnId) -> (Ipv4Addr, u16) {
+        self.host.conns[conn.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("local_addr on dead {conn}"))
+            .local()
+    }
+
+    fn remote_addr(&self, conn: ConnId) -> (Ipv4Addr, u16) {
+        self.host.conns[conn.0 as usize]
+            .as_ref()
+            .unwrap_or_else(|| panic!("remote_addr on dead {conn}"))
+            .remote()
+    }
+}
+

@@ -1,0 +1,38 @@
+//! A flow-controlled, TCP-like transport for the discrete-event simulator.
+//!
+//! This crate provides the traffic substrate whose timing behaviour the
+//! paper's measurement technique depends on: windowed transmission with ACK
+//! clocking, cumulative and delayed acknowledgments, retransmission
+//! timeouts, optional pacing, and an application interface for
+//! request/response protocols with bounded in-flight quotas.
+//!
+//! It intentionally implements *TCP-like* semantics rather than
+//! wire-compatible TCP: no options, no SACK, no window scaling, fixed
+//! advertised windows. What matters for the reproduction is that the
+//! **packet arrival process at the load balancer** exhibits the phenomena
+//! the paper exploits and the failure modes it warns about:
+//!
+//! * flow-control-limited senders transmit *batches* separated by pauses
+//!   of roughly one response latency (the signal),
+//! * delayed ACKs, pacing, and application-limited clients perturb these
+//!   timings (§5 open question 2 — all three are implemented and
+//!   switchable per host).
+//!
+//! The main entry point is [`host::Host`], a [`netsim::Node`] hosting a TCP
+//! stack and an [`app::App`] (the application logic — workload clients and
+//! backend servers implement this trait).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod config;
+pub mod conn;
+pub mod host;
+pub mod rto;
+pub mod seq;
+
+pub use app::{App, ConnId, HostIo};
+pub use config::{DelayedAck, Pacing, TcpConfig};
+pub use conn::{Conn, ConnState};
+pub use host::{Host, HostConfig};

@@ -1,0 +1,23 @@
+//! Measurement toolkit for the in-band LB reproduction: histograms,
+//! percentile estimators, binned time series, estimate-vs-ground-truth
+//! summaries, and plain-text table output for regenerating the paper's
+//! figures.
+//!
+//! The crate is deliberately free of simulator dependencies: all times are
+//! raw `u64` nanoseconds, so the same tools serve unit tests, experiments,
+//! and benches.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod histogram;
+pub mod percentile;
+pub mod summary;
+pub mod table;
+pub mod timeseries;
+
+pub use histogram::LogHistogram;
+pub use percentile::{exact_percentile, P2Quantile};
+pub use summary::AccuracySummary;
+pub use table::Table;
+pub use timeseries::{BinnedSeries, ScalarSeries};

@@ -1,0 +1,133 @@
+//! Property-based tests for the measurement toolkit.
+
+use proptest::prelude::*;
+
+use telemetry::{exact_percentile, BinnedSeries, LogHistogram, P2Quantile, ScalarSeries};
+
+proptest! {
+    /// The log histogram's quantiles stay within its design relative error
+    /// (≈3%, two sub-bucket widths) of exact quantiles, for arbitrary data.
+    #[test]
+    fn histogram_quantiles_bounded_error(
+        values in proptest::collection::vec(1u64..1_000_000_000, 10..500),
+        q in 0.01f64..0.99,
+    ) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let approx = h.quantile(q) as f64;
+        let exact = exact_percentile(&values, q).unwrap() as f64;
+        // Bucket resolution bound plus rank-rounding slack: compare against
+        // the neighbouring exact quantiles too.
+        let lo = exact_percentile(&values, (q - 0.05).max(0.0)).unwrap() as f64;
+        let hi = exact_percentile(&values, (q + 0.05).min(1.0)).unwrap() as f64;
+        let tolerance = 0.04 * exact.max(1.0);
+        prop_assert!(
+            approx >= lo - tolerance && approx <= hi + tolerance,
+            "quantile({}) = {} outside [{}, {}] of exact {}",
+            q, approx, lo, hi, exact
+        );
+    }
+
+    /// Histogram count/min/max/mean are exact regardless of bucketing.
+    #[test]
+    fn histogram_moments_exact(values in proptest::collection::vec(0u64..1u64<<40, 1..300)) {
+        let mut h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.min(), *values.iter().min().unwrap());
+        prop_assert_eq!(h.max(), *values.iter().max().unwrap());
+        let mean = values.iter().map(|&v| v as f64).sum::<f64>() / values.len() as f64;
+        prop_assert!((h.mean() - mean).abs() < 1e-3 * mean.max(1.0));
+    }
+
+    /// Merging histograms equals recording the concatenation.
+    #[test]
+    fn histogram_merge_is_concat(
+        a in proptest::collection::vec(1u64..1u64<<30, 1..100),
+        b in proptest::collection::vec(1u64..1u64<<30, 1..100),
+    ) {
+        let mut ha = LogHistogram::new();
+        let mut hb = LogHistogram::new();
+        let mut hc = LogHistogram::new();
+        for &v in &a { ha.record(v); hc.record(v); }
+        for &v in &b { hb.record(v); hc.record(v); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.count(), hc.count());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(ha.quantile(q), hc.quantile(q));
+        }
+    }
+
+    /// Exact percentile is monotone in q and bounded by min/max.
+    #[test]
+    fn exact_percentile_monotone(values in proptest::collection::vec(any::<u64>(), 1..200)) {
+        let mut last = 0u64;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = exact_percentile(&values, q).unwrap();
+            prop_assert!(v >= last || i == 0);
+            last = v;
+        }
+        prop_assert_eq!(exact_percentile(&values, 0.0).unwrap(), *values.iter().min().unwrap());
+        prop_assert_eq!(exact_percentile(&values, 1.0).unwrap(), *values.iter().max().unwrap());
+    }
+
+    /// P² stays within the sample range and is deterministic.
+    #[test]
+    fn p2_bounded_and_deterministic(values in proptest::collection::vec(0.0f64..1e9, 5..500)) {
+        let run = || {
+            let mut p = P2Quantile::new(0.9);
+            for &v in &values {
+                p.record(v);
+            }
+            p.value()
+        };
+        let v1 = run();
+        let v2 = run();
+        prop_assert_eq!(v1, v2);
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(v1 >= min - 1e-9 && v1 <= max + 1e-9, "{} not in [{}, {}]", v1, min, max);
+    }
+
+    /// BinnedSeries never loses observations: the merged histogram count
+    /// equals the number of records.
+    #[test]
+    fn binned_series_conserves_counts(
+        points in proptest::collection::vec((0u64..10_000_000, 1u64..1_000_000), 1..300),
+        bin in 1_000u64..1_000_000,
+    ) {
+        let mut s = BinnedSeries::new(bin);
+        for &(t, v) in &points {
+            s.record(t, v);
+        }
+        prop_assert_eq!(s.merged().count(), points.len() as u64);
+        let total: u64 = s.count_series().iter().map(|&(_, c)| c).sum();
+        prop_assert_eq!(total, points.len() as u64);
+    }
+
+    /// ScalarSeries step lookup returns the last pushed value at or before
+    /// the query (reference implementation comparison).
+    #[test]
+    fn scalar_series_lookup_matches_reference(
+        deltas in proptest::collection::vec(1u64..1000, 1..50),
+        queries in proptest::collection::vec(0u64..100_000, 1..50),
+    ) {
+        let mut s = ScalarSeries::new();
+        let mut pts = Vec::new();
+        let mut t = 0u64;
+        for (i, &d) in deltas.iter().enumerate() {
+            t += d;
+            s.push(t, i as f64);
+            pts.push((t, i as f64));
+        }
+        for &q in &queries {
+            let expect = pts.iter().rev().find(|&&(pt, _)| pt <= q).map(|&(_, v)| v);
+            prop_assert_eq!(s.value_at(q), expect);
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! The memtier-like closed-loop key-value client (§4 of the paper).
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use netpkt::kv::{KvDecoder, KvMessage, KvOp};
+use netsim::rng::component_rng;
+use netsim::Duration;
+use nettcp::{App, ConnId, HostIo};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::keyspace::{KeyDist, KeySampler};
+use crate::recorder::LatencyRecorder;
+
+/// Client workload parameters.
+#[derive(Debug, Clone)]
+pub struct MemtierConfig {
+    /// The service VIP to connect to.
+    pub vip: Ipv4Addr,
+    /// Service port.
+    pub port: u16,
+    /// Concurrent connections held open by this client.
+    pub connections: usize,
+    /// Maximum outstanding (pipelined) requests per connection — the
+    /// application-level flow-control quota. When a connection has this
+    /// many requests in flight the client *must* wait for a response, and
+    /// the packet that follows is a causally-triggered transmission.
+    pub pipeline: usize,
+    /// Fraction of requests that are GETs (the paper uses a 50-50 mix).
+    pub get_ratio: f64,
+    /// Keys are drawn from `0..key_count`.
+    pub key_count: u64,
+    /// Key popularity distribution.
+    pub key_dist: KeyDist,
+    /// Value length written by SETs.
+    pub set_value_len: u32,
+    /// Close and reopen a connection after this many completed requests
+    /// (the paper's client "closes and reopens connections from time to
+    /// time" so the LB can make fresh routing decisions). 0 disables churn.
+    pub requests_per_conn: u64,
+    /// Optional think time between a response and the next request
+    /// (uniform in the given range) — the "application-limited client"
+    /// timing violation of §5(2). `None` = closed loop at full speed.
+    pub think_time: Option<(Duration, Duration)>,
+    /// Time-bin width for the recorder's latency series.
+    pub recorder_bin: Duration,
+    /// Cap on raw recorded samples.
+    pub raw_limit: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MemtierConfig {
+    fn default() -> Self {
+        MemtierConfig {
+            vip: Ipv4Addr::new(10, 9, 9, 9),
+            port: 11211,
+            connections: 8,
+            pipeline: 4,
+            get_ratio: 0.5,
+            key_count: 10_000,
+            key_dist: KeyDist::Uniform,
+            set_value_len: 64,
+            requests_per_conn: 200,
+            think_time: None,
+            recorder_bin: Duration::from_secs(1),
+            raw_limit: 1 << 20,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ConnTracker {
+    decoder: KvDecoder,
+    /// request id → (issue time ns, was GET).
+    outstanding: HashMap<u64, (u64, bool)>,
+    issued: u64,
+    completed: u64,
+    closing: bool,
+}
+
+impl ConnTracker {
+    fn new() -> ConnTracker {
+        ConnTracker {
+            decoder: KvDecoder::new(),
+            outstanding: HashMap::new(),
+            issued: 0,
+            completed: 0,
+            closing: false,
+        }
+    }
+}
+
+/// Counters for the client.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct MemtierStats {
+    /// Requests issued.
+    pub issued: u64,
+    /// Responses received.
+    pub completed: u64,
+    /// Connections opened (including reopenings).
+    pub conns_opened: u64,
+    /// Connections that completed their quota and were closed.
+    pub conns_recycled: u64,
+    /// Connections that died *without* the client asking (peer reset or
+    /// retransmission-abort) — broken connections, in §2.5's terms.
+    pub conns_broken: u64,
+    /// Requests that were outstanding on broken connections (lost work).
+    pub requests_lost: u64,
+}
+
+/// The memtier-like client application.
+pub struct MemtierClient {
+    cfg: MemtierConfig,
+    keys: KeySampler,
+    rng: StdRng,
+    conns: HashMap<ConnId, ConnTracker>,
+    next_req_id: u64,
+    /// Ground-truth latency recording.
+    pub recorder: LatencyRecorder,
+    /// Counters.
+    pub stats: MemtierStats,
+}
+
+impl MemtierClient {
+    /// Creates the client.
+    pub fn new(cfg: MemtierConfig) -> MemtierClient {
+        assert!(cfg.connections > 0 && cfg.pipeline > 0, "connections and pipeline must be positive");
+        let recorder = LatencyRecorder::new(cfg.recorder_bin.as_nanos(), cfg.raw_limit);
+        let rng = component_rng(cfg.seed, "memtier-client");
+        let keys = KeySampler::new(cfg.key_count.max(1), cfg.key_dist);
+        MemtierClient {
+            cfg,
+            keys,
+            rng,
+            conns: HashMap::new(),
+            next_req_id: 1,
+            recorder,
+            stats: MemtierStats::default(),
+        }
+    }
+
+    fn open_conn(&mut self, io: &mut dyn HostIo) {
+        let id = io.connect(self.cfg.vip, self.cfg.port);
+        self.conns.insert(id, ConnTracker::new());
+        self.stats.conns_opened += 1;
+    }
+
+    fn issue_one(&mut self, io: &mut dyn HostIo, conn: ConnId) {
+        let Some(t) = self.conns.get_mut(&conn) else { return };
+        if t.closing {
+            return;
+        }
+        if self.cfg.requests_per_conn > 0 && t.issued >= self.cfg.requests_per_conn {
+            return;
+        }
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        let is_get = self.rng.gen_bool(self.cfg.get_ratio.clamp(0.0, 1.0));
+        let key = self.keys.sample(&mut self.rng);
+        let msg = if is_get {
+            KvMessage::get(req_id, key)
+        } else {
+            KvMessage::set(req_id, key, self.cfg.set_value_len)
+        };
+        t.outstanding.insert(req_id, (io.now().as_nanos(), is_get));
+        t.issued += 1;
+        self.stats.issued += 1;
+        io.send(conn, &msg.encode());
+    }
+
+    fn fill_pipeline(&mut self, io: &mut dyn HostIo, conn: ConnId) {
+        loop {
+            let Some(t) = self.conns.get(&conn) else { return };
+            if t.closing || t.outstanding.len() >= self.cfg.pipeline {
+                return;
+            }
+            if self.cfg.requests_per_conn > 0 && t.issued >= self.cfg.requests_per_conn {
+                return;
+            }
+            self.issue_one(io, conn);
+        }
+    }
+
+    /// Issues the next request, either immediately or after think time.
+    fn continue_conn(&mut self, io: &mut dyn HostIo, conn: ConnId) {
+        match self.cfg.think_time {
+            None => self.fill_pipeline(io, conn),
+            Some((lo, hi)) => {
+                let span = hi.as_nanos().saturating_sub(lo.as_nanos());
+                let extra = if span == 0 { 0 } else { self.rng.gen_range(0..=span) };
+                let wait = lo + Duration::from_nanos(extra);
+                io.arm_app_timer(wait, conn.0 as u64);
+            }
+        }
+    }
+
+    fn maybe_recycle(&mut self, io: &mut dyn HostIo, conn: ConnId) {
+        let Some(t) = self.conns.get_mut(&conn) else { return };
+        if self.cfg.requests_per_conn > 0
+            && t.completed >= self.cfg.requests_per_conn
+            && t.outstanding.is_empty()
+            && !t.closing
+        {
+            t.closing = true;
+            self.stats.conns_recycled += 1;
+            io.close(conn);
+        }
+    }
+}
+
+impl App for MemtierClient {
+    fn on_start(&mut self, io: &mut dyn HostIo) {
+        for _ in 0..self.cfg.connections {
+            self.open_conn(io);
+        }
+    }
+
+    fn on_connected(&mut self, io: &mut dyn HostIo, conn: ConnId) {
+        self.fill_pipeline(io, conn);
+    }
+
+    fn on_data(&mut self, io: &mut dyn HostIo, conn: ConnId, data: &[u8]) {
+        let now = io.now().as_nanos();
+        let Some(t) = self.conns.get_mut(&conn) else { return };
+        t.decoder.push(data);
+        let mut finished = Vec::new();
+        while let Ok(Some(resp)) = t.decoder.next_message() {
+            assert!(!resp.is_request, "client received a request");
+            if let Some((issued_at, is_get)) = t.outstanding.remove(&resp.request_id) {
+                debug_assert_eq!(
+                    is_get,
+                    resp.op == KvOp::Get,
+                    "response op does not match request"
+                );
+                t.completed += 1;
+                finished.push((now.saturating_sub(issued_at), is_get));
+            }
+        }
+        for (latency, is_get) in finished {
+            self.stats.completed += 1;
+            self.recorder.record_response(now, latency, is_get);
+        }
+        self.continue_conn(io, conn);
+        self.maybe_recycle(io, conn);
+    }
+
+    fn on_closed(&mut self, io: &mut dyn HostIo, conn: ConnId) {
+        if let Some(tracker) = self.conns.remove(&conn) {
+            if !tracker.closing {
+                // The client never asked for this close: the connection
+                // was reset or aborted underneath the application.
+                self.stats.conns_broken += 1;
+                self.stats.requests_lost += tracker.outstanding.len() as u64;
+            }
+            // Keep the connection count constant: reopen.
+            self.open_conn(io);
+        }
+    }
+
+    fn on_app_timer(&mut self, io: &mut dyn HostIo, token: u64) {
+        let conn = ConnId(token as u32);
+        self.fill_pipeline(io, conn);
+        self.maybe_recycle(io, conn);
+    }
+
+    fn on_rtt_sample(&mut self, io: &mut dyn HostIo, _conn: ConnId, rtt: Duration) {
+        self.recorder.record_rtt(io.now().as_nanos(), rtt.as_nanos());
+    }
+}

@@ -1,0 +1,134 @@
+//! Key selection: uniform or Zipf-distributed key popularity.
+//!
+//! Real key-value workloads are heavily skewed (a few hot keys dominate);
+//! memtier exposes Gaussian/Zipf-ish options for the same reason. Key
+//! skew does not change the LB's packet timing (requests are equal-sized)
+//! but matters for backend cache realism and future extensions.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How keys are drawn from `0..key_count`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyDist {
+    /// Every key equally likely.
+    Uniform,
+    /// Zipf with exponent `s` (> 0): key k has weight 1/(k+1)^s.
+    Zipf {
+        /// Skew exponent (1.0 ≈ classic web popularity).
+        s: f64,
+    },
+}
+
+/// A sampler over a fixed keyspace.
+#[derive(Debug, Clone)]
+pub struct KeySampler {
+    key_count: u64,
+    /// Cumulative weights for Zipf (empty for uniform).
+    cdf: Vec<f64>,
+}
+
+impl KeySampler {
+    /// Builds a sampler. Zipf precomputes an O(n) CDF; sampling is then
+    /// O(log n) per draw.
+    ///
+    /// # Panics
+    /// Panics on an empty keyspace or non-positive exponent.
+    pub fn new(key_count: u64, dist: KeyDist) -> KeySampler {
+        assert!(key_count > 0, "keyspace must be non-empty");
+        let cdf = match dist {
+            KeyDist::Uniform => Vec::new(),
+            KeyDist::Zipf { s } => {
+                assert!(s > 0.0 && s.is_finite(), "Zipf exponent must be positive");
+                let mut acc = 0.0f64;
+                let mut cdf = Vec::with_capacity(key_count as usize);
+                for k in 0..key_count {
+                    acc += 1.0 / ((k + 1) as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                cdf
+            }
+        };
+        KeySampler { key_count, cdf }
+    }
+
+    /// Draws one key.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        if self.cdf.is_empty() {
+            rng.gen_range(0..self.key_count)
+        } else {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            self.cdf.partition_point(|&c| c < u) as u64
+        }
+    }
+
+    /// The keyspace size.
+    pub fn key_count(&self) -> u64 {
+        self.key_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn draws(sampler: &KeySampler, n: usize) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n).map(|_| sampler.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn uniform_covers_keyspace_evenly() {
+        let s = KeySampler::new(10, KeyDist::Uniform);
+        let d = draws(&s, 50_000);
+        let mut counts = [0usize; 10];
+        for k in d {
+            counts[k as usize] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 50_000.0;
+            assert!((frac - 0.1).abs() < 0.01, "uniform fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_keys() {
+        let s = KeySampler::new(1000, KeyDist::Zipf { s: 1.0 });
+        let d = draws(&s, 100_000);
+        let hot = d.iter().filter(|&&k| k == 0).count() as f64 / 100_000.0;
+        // With s=1, n=1000: P(k=0) = 1/H(1000) ≈ 1/7.49 ≈ 0.134.
+        assert!((hot - 0.134).abs() < 0.01, "hot-key fraction {hot}");
+        // Top-10 keys take the bulk predicted by the harmonic sums.
+        let top10 = d.iter().filter(|&&k| k < 10).count() as f64 / 100_000.0;
+        assert!((0.36..=0.42).contains(&top10), "top-10 fraction {top10}");
+        // Every key is still reachable in principle (no panic on extremes).
+        assert!(d.iter().all(|&k| k < 1000));
+    }
+
+    #[test]
+    fn strong_skew_concentrates_more() {
+        let weak = KeySampler::new(1000, KeyDist::Zipf { s: 0.8 });
+        let strong = KeySampler::new(1000, KeyDist::Zipf { s: 1.4 });
+        let hot = |s: &KeySampler| {
+            draws(s, 50_000).iter().filter(|&&k| k == 0).count()
+        };
+        assert!(hot(&strong) > 2 * hot(&weak));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn bad_exponent_rejected() {
+        let _ = KeySampler::new(10, KeyDist::Zipf { s: 0.0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_keyspace_rejected() {
+        let _ = KeySampler::new(0, KeyDist::Uniform);
+    }
+}

@@ -1,0 +1,34 @@
+//! Export a simulated run as a pcap file you can open in Wireshark.
+//!
+//! Captures the load balancer's viewpoint — which, under Direct Server
+//! Return, contains **only client→VIP packets**: opening the capture makes
+//! the paper's core constraint visible (not one response in the trace).
+//!
+//! Run with: `cargo run --release --example capture_pcap [out.pcap]`
+
+use experiments::fig2::Fig2Config;
+use experiments::topology::{BacklogScenario, BacklogScenarioConfig};
+use netsim::{Duration, TraceKind};
+
+fn main() -> std::io::Result<()> {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "lb_view.pcap".into());
+
+    let cfg = Fig2Config::default();
+    let mut scenario = BacklogScenario::build(BacklogScenarioConfig {
+        seed: cfg.seed,
+        ..BacklogScenarioConfig::fig2_defaults()
+    });
+    scenario.sim.enable_trace_with_bytes(1 << 20);
+    // Keep the file small: 300 ms of a backlogged flow.
+    scenario.sim.run_for(Duration::from_millis(300));
+
+    let lb = scenario.lb;
+    let mut file = std::io::BufWriter::new(std::fs::File::create(&out_path)?);
+    let written = scenario
+        .sim
+        .trace()
+        .write_pcap(&mut file, |e| e.node == lb && e.kind == TraceKind::Deliver)?;
+    println!("wrote {written} frames (the LB's receive path) to {out_path}");
+    println!("note: every packet is client→VIP — DSR hides all responses from the LB.");
+    Ok(())
+}

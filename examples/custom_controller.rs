@@ -1,0 +1,91 @@
+//! Plug a custom feedback controller into the LB.
+//!
+//! The `lbcore::Controller` trait is the extension point the paper's §5(4)
+//! asks the community to explore. This example implements a "two-level"
+//! controller — an aggressive shift when the latency gap is large, a
+//! gentle one otherwise — and runs it head-to-head against the paper's
+//! fixed α = 10% shift on the Fig. 3 scenario.
+//!
+//! Run with: `cargo run --release --example custom_controller`
+
+use experiments::topology::{KvCluster, KvClusterConfig, VIP};
+use lb_dataplane::LbConfig;
+use lbcore::{AlphaShift, BackendEstimator, Controller, Weights};
+use netsim::{Duration, Time};
+use telemetry::exact_percentile;
+
+/// Shift 30% when the worst backend is ≥ 3x slower than the best other,
+/// 5% when it is merely ≥ 1.2x slower.
+struct TwoLevelShift {
+    last_action: Option<u64>,
+}
+
+impl Controller for TwoLevelShift {
+    fn maybe_update(&mut self, now: u64, est: &BackendEstimator, weights: &mut Weights) -> bool {
+        // At most one action per millisecond.
+        if let Some(last) = self.last_action {
+            if now - last < 1_000_000 {
+                return false;
+            }
+        }
+        let Some((worst, worst_lat)) = est.worst(now) else { return false };
+        let Some(best) = est.best_other(worst, now) else { return false };
+        let alpha = if worst_lat >= 3.0 * best {
+            0.30
+        } else if worst_lat >= 1.2 * best {
+            0.05
+        } else {
+            return false;
+        };
+        let moved = weights.shift_from(worst, alpha);
+        if moved > 0.0 {
+            self.last_action = Some(now);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "two-level"
+    }
+}
+
+fn run(name: &str, make: impl FnOnce() -> Box<dyn Controller>) {
+    let ctl = make();
+    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
+        Box::new(move |backends| LbConfig::latency_aware(VIP, backends, ctl));
+    let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
+    cfg.seed = 42;
+    let mut cluster = KvCluster::build(cfg);
+    let inject_at = Time::ZERO + Duration::from_secs(4);
+    cluster.inject_backend_delay(0, inject_at, Duration::from_millis(1));
+    cluster.sim.run_for(Duration::from_secs(12));
+
+    let rec = &cluster.client_app(0).recorder;
+    let after: Vec<u64> = rec
+        .raw()
+        .iter()
+        .filter(|&&(t, _, g)| g && t >= inject_at.as_nanos())
+        .map(|&(_, l, _)| l)
+        .collect();
+    let lb = cluster.lb_node();
+    let reaction = lb
+        .weight_series(0)
+        .points()
+        .iter()
+        .find(|&&(t, w)| t > inject_at.as_nanos() && w < 0.5)
+        .map(|&(t, _)| format!("{:.2} ms", (t - inject_at.as_nanos()) as f64 / 1e6))
+        .unwrap_or_else(|| "never".into());
+    println!(
+        "  {name:<12}  post-injection p95 = {:>7.1} us   reaction = {reaction:<9}  rebuilds = {}",
+        exact_percentile(&after, 0.95).unwrap_or(0) as f64 / 1e3,
+        lb.stats.table_rebuilds,
+    );
+}
+
+fn main() {
+    println!("custom controller vs the paper's alpha-shift (1ms injected at t=4s):\n");
+    run("alpha-shift", || Box::new(AlphaShift::damped()));
+    run("two-level", || Box::new(TwoLevelShift { last_action: None }));
+}

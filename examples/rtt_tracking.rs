@@ -1,0 +1,59 @@
+//! Watch the LB estimate a flow's RTT without seeing any response packets.
+//!
+//! A window-limited bulk TCP flow runs through the LB under Direct Server
+//! Return (the LB sees only client→server packets). At t = 3 s the path
+//! RTT jumps by 1 ms. `ENSEMBLETIMEOUT` re-selects its batch timeout every
+//! 64 ms epoch via sample-cliff detection and keeps tracking the truth.
+//!
+//! Run with: `cargo run --release --example rtt_tracking`
+
+use experiments::fig2::{run_fig2b, Fig2Config};
+use telemetry::exact_percentile;
+
+fn main() {
+    let cfg = Fig2Config::default();
+    println!(
+        "observing a backlogged flow at the LB for {}s; RTT steps +1ms at t={}s ...\n",
+        cfg.duration.as_secs_f64(),
+        cfg.step_at.as_secs_f64()
+    );
+    let r = run_fig2b(&cfg);
+
+    println!("  time   true RTT   LB estimate   chosen timeout");
+    let bin = 500_000_000u64; // 0.5 s rows
+    let end = r.trace.truth.iter().map(|&(t, _)| t).max().unwrap_or(0);
+    for b in 0..=(end / bin) {
+        let lo = b * bin;
+        let hi = lo + bin;
+        let truth: Vec<u64> = r
+            .trace
+            .truth
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t < hi)
+            .map(|&(_, v)| v)
+            .collect();
+        let est: Vec<u64> = r
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= lo && t < hi)
+            .map(|&(_, v)| v)
+            .collect();
+        let delta = r
+            .decisions
+            .iter()
+            .take_while(|&&(t, _)| t <= hi)
+            .last()
+            .map(|&(_, d)| format!("{} us", d / 1000))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "  {:>4.1}s  {:>7.1} us  {:>8.1} us   {}",
+            lo as f64 / 1e9,
+            exact_percentile(&truth, 0.5).unwrap_or(0) as f64 / 1e3,
+            exact_percentile(&est, 0.5).unwrap_or(0) as f64 / 1e3,
+            delta,
+        );
+    }
+    println!();
+    println!("accuracy before the step (median rel. error): {:.1}%", r.pre_step.median_rel_err * 100.0);
+    println!("accuracy after the step  (median rel. error): {:.1}%", r.post_step.median_rel_err * 100.0);
+}

@@ -1,0 +1,156 @@
+//! End-to-end tests of the paper's headline claims, on shortened (but
+//! dynamics-preserving) timelines so they stay tractable in debug builds.
+
+use experiments::fig2::{replay_ensemble, replay_fixed, run_fig2b, Fig2Config};
+use experiments::fig3::{run_fig3, Fig3Config};
+use lbcore::EnsembleConfig;
+use netsim::Duration;
+
+fn short_fig2() -> Fig2Config {
+    Fig2Config {
+        duration: Duration::from_millis(2500),
+        step_at: Duration::from_millis(1250),
+        ..Fig2Config::default()
+    }
+}
+
+/// §3 / Fig. 2(b): the ensemble estimator tracks the true RTT from purely
+/// one-directional observations, across a 1 ms RTT step.
+#[test]
+fn ensemble_tracks_rtt_across_step() {
+    let r = run_fig2b(&short_fig2());
+    assert!(
+        r.post_step.median_rel_err < 0.10,
+        "post-step error too high: {}",
+        r.post_step.median_rel_err
+    );
+    // The pre-step window on this shortened timeline leaves only ~750 ms
+    // after ensemble warm-up, so the bound is looser than the full-length
+    // figure's (5.8% over 2.5 s warm; see EXPERIMENTS.md).
+    assert!(
+        r.pre_step.median_rel_err < 0.35,
+        "pre-step error too high: {}",
+        r.pre_step.median_rel_err
+    );
+    // The chosen timeout must move upward after the step.
+    let before: Vec<u64> = r
+        .decisions
+        .iter()
+        .filter(|&&(t, _)| t < r.trace.step_at)
+        .map(|&(_, d)| d)
+        .collect();
+    let after: Vec<u64> = r
+        .decisions
+        .iter()
+        .filter(|&&(t, _)| t > r.trace.step_at + 200_000_000)
+        .map(|&(_, d)| d)
+        .collect();
+    assert!(!before.is_empty() && !after.is_empty(), "too few epoch decisions");
+    let med = |v: &[u64]| {
+        let mut s = v.to_vec();
+        s.sort_unstable();
+        s[s.len() / 2]
+    };
+    assert!(
+        med(&after) > med(&before),
+        "chosen delta did not adapt: {} -> {}",
+        med(&before),
+        med(&after)
+    );
+}
+
+/// Fig. 2(a): a too-low fixed timeout floods low estimates; a too-high one
+/// yields almost nothing before the step and becomes accurate after it.
+#[test]
+fn fixed_timeout_failure_modes() {
+    let cfg = short_fig2();
+    let trace = experiments::fig2::capture_trace(&cfg);
+    let low = replay_fixed(&trace.arrivals, 64_000);
+    let high = replay_fixed(&trace.arrivals, 1_024_000);
+    let truth_pre = trace.truth.iter().filter(|&&(t, _)| t < trace.step_at).count();
+    let low_pre = low.iter().filter(|&&(t, _)| t < trace.step_at).count();
+    let high_pre = high.iter().filter(|&&(t, _)| t < trace.step_at).count();
+    assert!(
+        low_pre as f64 > 2.0 * truth_pre as f64,
+        "64us timeout should oversample: {low_pre} vs truth {truth_pre}"
+    );
+    assert!(
+        (high_pre as f64) < 0.1 * truth_pre as f64,
+        "1024us timeout should undersample pre-step: {high_pre} vs truth {truth_pre}"
+    );
+    // And the low-timeout estimates are erroneously low.
+    let low_med = {
+        let mut v: Vec<u64> =
+            low.iter().filter(|&&(t, _)| t < trace.step_at).map(|&(_, s)| s).collect();
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    let truth_med = {
+        let mut v: Vec<u64> =
+            trace.truth.iter().filter(|&&(t, _)| t < trace.step_at).map(|&(_, s)| s).collect();
+        v.sort_unstable();
+        v[v.len() / 2]
+    };
+    assert!(
+        (low_med as f64) < 0.6 * truth_med as f64,
+        "low-timeout estimates should sit below truth: {low_med} vs {truth_med}"
+    );
+}
+
+/// The replay path is deterministic: same seed, same trace, same samples.
+#[test]
+fn fig2_replay_is_deterministic() {
+    let cfg = short_fig2();
+    let a = experiments::fig2::capture_trace(&cfg);
+    let b = experiments::fig2::capture_trace(&cfg);
+    assert_eq!(a.arrivals, b.arrivals);
+    assert_eq!(a.truth, b.truth);
+    let (sa, da) = replay_ensemble(&a.arrivals, EnsembleConfig::default());
+    let (sb, db) = replay_ensemble(&b.arrivals, EnsembleConfig::default());
+    assert_eq!(sa, sb);
+    assert_eq!(da, db);
+}
+
+/// Fig. 3: under a 1 ms injection, plain Maglev's p95 inflates severely
+/// and stays; the latency-aware LB reacts within milliseconds and keeps
+/// p95 near the healthy level.
+#[test]
+fn latency_aware_lb_beats_maglev_under_injection() {
+    let cfg = Fig3Config {
+        duration: Duration::from_secs(6),
+        inject_at: Duration::from_secs(2),
+        bin: Duration::from_millis(500),
+        ..Fig3Config::default()
+    };
+    let r = run_fig3(&cfg);
+
+    // Baseline: inflated at least 3x by the 1 ms injection.
+    assert!(
+        r.baseline.p95_after > 3 * r.baseline.p95_before,
+        "baseline did not inflate: {} -> {}",
+        r.baseline.p95_before,
+        r.baseline.p95_after
+    );
+    // Aware: post-injection p95 at most 1.5x its own healthy level.
+    assert!(
+        (r.aware.p95_after as f64) < 1.5 * r.aware.p95_before as f64,
+        "aware LB failed to recover: {} -> {}",
+        r.aware.p95_before,
+        r.aware.p95_after
+    );
+    // And far below the baseline's degraded tail.
+    assert!(r.aware.p95_after * 2 < r.baseline.p95_after);
+    // The first weight shift lands within 50 ms of the injection (the
+    // paper claims milliseconds; the margin allows for sampling). When
+    // pre-injection wander had already moved weight off the backend, the
+    // reaction is reported as instantaneous — also a pass.
+    let reaction = r.aware.first_reaction.expect("controller never reacted");
+    let inject_ns = (netsim::Time::ZERO + cfg.inject_at).as_nanos();
+    assert!(
+        reaction.saturating_sub(inject_ns) < 50_000_000,
+        "reaction took {} ms",
+        (reaction - inject_ns) as f64 / 1e6
+    );
+    // Baseline never adapts.
+    assert!(r.baseline.first_reaction.is_none());
+}

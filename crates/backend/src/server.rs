@@ -4,10 +4,9 @@ use std::collections::HashMap;
 
 use netpkt::kv::{KvDecoder, KvMessage, KvOp, KvStatus};
 use netsim::rng::component_rng;
+use netsim::rng::SimRng;
 use netsim::Duration;
 use nettcp::{App, ConnId, HostIo};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::service::{DelaySchedule, InterferenceConfig, Nanos, ServiceDist, ServiceModel};
 
@@ -57,7 +56,10 @@ impl Default for KvServerConfig {
     fn default() -> Self {
         KvServerConfig {
             port: 11211,
-            service: ServiceDist::LogNormal { median: 60_000, sigma: 0.3 },
+            service: ServiceDist::LogNormal {
+                median: 60_000,
+                sigma: 0.3,
+            },
             workers: 4,
             interference: None,
             delay_schedule: DelaySchedule::none(),
@@ -89,7 +91,7 @@ pub struct KvServerStats {
 pub struct KvServerApp {
     cfg: KvServerConfig,
     model: ServiceModel,
-    rng: StdRng,
+    rng: SimRng,
     store: HashMap<u64, u32>,
     decoders: HashMap<ConnId, KvDecoder>,
     pending: HashMap<u64, (ConnId, KvMessage)>,
@@ -188,11 +190,18 @@ impl App for KvServerApp {
     }
 
     fn on_data(&mut self, io: &mut dyn HostIo, conn: ConnId, data: &[u8]) {
-        let Some(dec) = self.decoders.get_mut(&conn) else { return };
+        let Some(dec) = self.decoders.get_mut(&conn) else {
+            return;
+        };
         dec.push(data);
         let mut requests = Vec::new();
         loop {
-            match self.decoders.get_mut(&conn).expect("checked above").next_message() {
+            match self
+                .decoders
+                .get_mut(&conn)
+                .expect("checked above")
+                .next_message()
+            {
                 Ok(Some(msg)) => {
                     assert!(msg.is_request, "server received a response message");
                     requests.push(msg);
@@ -233,7 +242,9 @@ impl App for KvServerApp {
             }
             return;
         }
-        let Some((conn, resp)) = self.pending.remove(&token) else { return };
+        let Some((conn, resp)) = self.pending.remove(&token) else {
+            return;
+        };
         if self.decoders.contains_key(&conn) {
             io.send(conn, &resp.encode());
         } else {
@@ -289,7 +300,8 @@ mod tests {
             self.decoder.push(data);
             while let Ok(Some(resp)) = self.decoder.next_message() {
                 let issued = self.issued_at[&resp.request_id];
-                self.latencies.push((resp.request_id, io.now().as_nanos() - issued));
+                self.latencies
+                    .push((resp.request_id, io.now().as_nanos() - issued));
                 if self.latencies.len() == self.requests.len() {
                     self.done = true;
                     io.close(conn);
@@ -298,7 +310,10 @@ mod tests {
         }
     }
 
-    fn run_script(cfg: KvServerConfig, requests: Vec<KvMessage>) -> (Vec<(u64, Nanos)>, KvServerStats) {
+    fn run_script(
+        cfg: KvServerConfig,
+        requests: Vec<KvMessage>,
+    ) -> (Vec<(u64, Nanos)>, KvServerStats) {
         let mut sim = Simulation::new();
         let c = sim.reserve_node("client");
         let s = sim.reserve_node("server");
@@ -338,7 +353,11 @@ mod tests {
             workers: 1,
             ..KvServerConfig::default()
         };
-        let reqs = vec![KvMessage::set(1, 42, 100), KvMessage::get(2, 42), KvMessage::get(3, 7)];
+        let reqs = vec![
+            KvMessage::set(1, 42, 100),
+            KvMessage::get(2, 42),
+            KvMessage::get(3, 7),
+        ];
         let (lat, stats) = run_script(cfg, reqs);
         assert_eq!(lat.len(), 3);
         assert_eq!(stats.sets, 1);
@@ -373,7 +392,10 @@ mod tests {
             workers: 1,
             ..KvServerConfig::default()
         };
-        let fast_cfg = KvServerConfig { workers: 8, ..slow_cfg.clone() };
+        let fast_cfg = KvServerConfig {
+            workers: 8,
+            ..slow_cfg.clone()
+        };
         let (lat1, _) = run_script(slow_cfg, reqs.clone());
         let (lat8, _) = run_script(fast_cfg, reqs);
         let max1 = lat1.iter().map(|&(_, l)| l).max().unwrap();
@@ -390,7 +412,11 @@ mod tests {
             ..KvServerConfig::default()
         };
         let (lat, _) = run_script(cfg, vec![KvMessage::get(1, 1)]);
-        assert!(lat[0].1 >= 1_050_000, "injected delay missing: {}", lat[0].1);
+        assert!(
+            lat[0].1 >= 1_050_000,
+            "injected delay missing: {}",
+            lat[0].1
+        );
     }
 
     #[test]

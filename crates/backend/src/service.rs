@@ -1,8 +1,7 @@
 //! Service-time modeling: distributions, worker pool, interference, and
 //! scripted delay injection.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use netsim::rng::SimRng;
 
 /// Nanoseconds alias (matches `lbcore::Nanos`).
 pub type Nanos = u64;
@@ -39,7 +38,7 @@ pub enum ServiceDist {
 
 impl ServiceDist {
     /// Draws one service time.
-    pub fn sample(&self, rng: &mut StdRng) -> Nanos {
+    pub fn sample(&self, rng: &mut SimRng) -> Nanos {
         match *self {
             ServiceDist::Constant(ns) => ns,
             ServiceDist::Exponential { mean } => {
@@ -53,7 +52,11 @@ impl ServiceDist {
                 let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 ((median as f64) * (sigma * z).exp()) as Nanos
             }
-            ServiceDist::Bimodal { fast, slow, slow_prob } => {
+            ServiceDist::Bimodal {
+                fast,
+                slow,
+                slow_prob,
+            } => {
                 if rng.gen_bool(slow_prob.clamp(0.0, 1.0)) {
                     slow
                 } else {
@@ -69,9 +72,11 @@ impl ServiceDist {
             ServiceDist::Constant(ns) => ns as f64,
             ServiceDist::Exponential { mean } => mean as f64,
             ServiceDist::LogNormal { median, sigma } => median as f64 * (sigma * sigma / 2.0).exp(),
-            ServiceDist::Bimodal { fast, slow, slow_prob } => {
-                fast as f64 * (1.0 - slow_prob) + slow as f64 * slow_prob
-            }
+            ServiceDist::Bimodal {
+                fast,
+                slow,
+                slow_prob,
+            } => fast as f64 * (1.0 - slow_prob) + slow as f64 * slow_prob,
         }
     }
 }
@@ -103,7 +108,9 @@ impl DelaySchedule {
     /// A single step: add `extra` to every request from `from` onward —
     /// the paper's "inject 1 ms at t = 100 s".
     pub fn step(from: Nanos, extra: Nanos) -> DelaySchedule {
-        DelaySchedule { steps: vec![(from, extra)] }
+        DelaySchedule {
+            steps: vec![(from, extra)],
+        }
     }
 
     /// Adds a step; `from` values must be non-decreasing.
@@ -140,11 +147,16 @@ impl ServiceModel {
     /// Creates the model.
     pub fn new(dist: ServiceDist, workers: usize, schedule: DelaySchedule) -> ServiceModel {
         assert!(workers > 0, "at least one worker");
-        ServiceModel { dist, workers: vec![0; workers], pause_until: 0, schedule }
+        ServiceModel {
+            dist,
+            workers: vec![0; workers],
+            pause_until: 0,
+            schedule,
+        }
     }
 
     /// Admits a request at `now`; returns its completion time.
-    pub fn admit(&mut self, now: Nanos, rng: &mut StdRng) -> Nanos {
+    pub fn admit(&mut self, now: Nanos, rng: &mut SimRng) -> Nanos {
         let service = self.dist.sample(rng);
         let extra = self.schedule.extra_at(now);
         // Earliest-free worker.
@@ -177,13 +189,12 @@ impl ServiceModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     const MS: Nanos = 1_000_000;
     const US: Nanos = 1_000;
 
-    fn rng() -> StdRng {
-        StdRng::seed_from_u64(7)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(7)
     }
 
     #[test]
@@ -202,17 +213,26 @@ mod tests {
         let n = 20_000;
         let total: u128 = (0..n).map(|_| d.sample(&mut r) as u128).sum();
         let mean = total as f64 / n as f64;
-        assert!((mean / (200.0 * US as f64) - 1.0).abs() < 0.05, "mean {mean}");
+        assert!(
+            (mean / (200.0 * US as f64) - 1.0).abs() < 0.05,
+            "mean {mean}"
+        );
     }
 
     #[test]
     fn lognormal_median_close() {
-        let d = ServiceDist::LogNormal { median: 100 * US, sigma: 0.5 };
+        let d = ServiceDist::LogNormal {
+            median: 100 * US,
+            sigma: 0.5,
+        };
         let mut r = rng();
         let mut v: Vec<Nanos> = (0..20_001).map(|_| d.sample(&mut r)).collect();
         v.sort_unstable();
         let median = v[v.len() / 2] as f64;
-        assert!((median / (100.0 * US as f64) - 1.0).abs() < 0.05, "median {median}");
+        assert!(
+            (median / (100.0 * US as f64) - 1.0).abs() < 0.05,
+            "median {median}"
+        );
         // And it has a tail: p99 well above the median.
         let p99 = v[(v.len() * 99) / 100] as f64;
         assert!(p99 > 2.0 * median);
@@ -220,7 +240,11 @@ mod tests {
 
     #[test]
     fn bimodal_mixes() {
-        let d = ServiceDist::Bimodal { fast: 50 * US, slow: MS, slow_prob: 0.1 };
+        let d = ServiceDist::Bimodal {
+            fast: 50 * US,
+            slow: MS,
+            slow_prob: 0.1,
+        };
         let mut r = rng();
         let samples: Vec<Nanos> = (0..10_000).map(|_| d.sample(&mut r)).collect();
         let slow = samples.iter().filter(|&&s| s == MS).count() as f64 / samples.len() as f64;

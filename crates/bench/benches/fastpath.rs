@@ -25,10 +25,12 @@ fn flow_key(i: u64) -> FlowKey {
 
 fn sample_packet() -> Packet {
     Packet::build_tcp(
-        MacAddr::from_id(1),
-        MacAddr::from_id(2),
-        Ipv4Addr::new(10, 0, 0, 1),
-        Ipv4Addr::new(10, 99, 0, 1),
+        netpkt::Addresses {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 99, 0, 1),
+        },
         &TcpHeader {
             src_port: 40_000,
             dst_port: 11211,
@@ -79,9 +81,13 @@ fn bench_ensemble(c: &mut Criterion) {
 fn bench_maglev(c: &mut Criterion) {
     let mut g = c.benchmark_group("maglev");
     for &size in &[251usize, 1021, 4093, 65537] {
-        g.bench_with_input(BenchmarkId::new("build_2_backends", size), &size, |b, &size| {
-            b.iter(|| black_box(MaglevTable::build_equal(black_box(2), size)));
-        });
+        g.bench_with_input(
+            BenchmarkId::new("build_2_backends", size),
+            &size,
+            |b, &size| {
+                b.iter(|| black_box(MaglevTable::build_equal(black_box(2), size)));
+            },
+        );
     }
     g.bench_function("build_weighted_16_backends_4093", |b| {
         let weights: Vec<f64> = (1..=16).map(|i| i as f64).collect();

@@ -34,7 +34,8 @@ fn main() {
                 .first_reaction
                 .map(|t| format!(
                     "{:.2} ms",
-                    (t.saturating_sub((netsim::Time::ZERO + cfg.inject_at).as_nanos())) as f64 / 1e6
+                    (t.saturating_sub((netsim::Time::ZERO + cfg.inject_at).as_nanos())) as f64
+                        / 1e6
                 ))
                 .unwrap_or_else(|| "never".into()),
         );

@@ -62,12 +62,24 @@ fn main() {
                 }
             }
         }
-        t.row(&["p95 before injection (us)".into(), format!("{:.1}", before.quantile(0.95) as f64 / 1e3)]);
-        t.row(&["p95 after injection (us)".into(), format!("{:.1}", after.quantile(0.95) as f64 / 1e3)]);
+        t.row(&[
+            "p95 before injection (us)".into(),
+            format!("{:.1}", before.quantile(0.95) as f64 / 1e3),
+        ]);
+        t.row(&[
+            "p95 after injection (us)".into(),
+            format!("{:.1}", after.quantile(0.95) as f64 / 1e3),
+        ]);
     }
     let lb = sc.cluster.lb_node();
-    t.row(&["T_LB samples at the LB".into(), lb.stats.samples.to_string()]);
-    t.row(&["Maglev table rebuilds".into(), lb.stats.table_rebuilds.to_string()]);
+    t.row(&[
+        "T_LB samples at the LB".into(),
+        lb.stats.samples.to_string(),
+    ]);
+    t.row(&[
+        "Maglev table rebuilds".into(),
+        lb.stats.table_rebuilds.to_string(),
+    ]);
     for (b, w) in lb.weights().as_slice().iter().enumerate() {
         t.row(&[format!("final weight of backend {b}"), format!("{w:.3}")]);
     }

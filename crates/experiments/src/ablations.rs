@@ -2,7 +2,9 @@
 //! experiments for the paper's §5 open questions.
 
 use lb_dataplane::LbConfig;
-use lbcore::{AimdController, AlphaShift, Controller, EnsembleConfig, ProportionalController, Weights};
+use lbcore::{
+    AimdController, AlphaShift, Controller, EnsembleConfig, ProportionalController, Weights,
+};
 use netsim::{Duration, Time};
 use telemetry::{AccuracySummary, Table};
 
@@ -56,8 +58,17 @@ type ScenarioTweak = Box<dyn FnOnce(&mut BacklogScenarioConfig)>;
 type ControllerFactory = Box<dyn Fn() -> Box<dyn Controller>>;
 
 fn accuracy_of(trace: &Fig2Trace, samples: &[(u64, u64)], from: u64) -> f64 {
-    let est: Vec<u64> = samples.iter().filter(|&&(t, _)| t > from).map(|&(_, v)| v).collect();
-    let truth: Vec<u64> = trace.truth.iter().filter(|&&(t, _)| t > from).map(|&(_, v)| v).collect();
+    let est: Vec<u64> = samples
+        .iter()
+        .filter(|&&(t, _)| t > from)
+        .map(|&(_, v)| v)
+        .collect();
+    let truth: Vec<u64> = trace
+        .truth
+        .iter()
+        .filter(|&&(t, _)| t > from)
+        .map(|&(_, v)| v)
+        .collect();
     AccuracySummary::compare(&est, &truth, &[0.5]).median_rel_err
 }
 
@@ -69,11 +80,18 @@ pub fn epoch_sweep(cfg: &Fig2Config, epochs_ms: &[u64]) -> Table {
         &["epoch_ms", "samples", "median_rel_err_p50"],
     );
     for &e in epochs_ms {
-        let ens_cfg = EnsembleConfig { epoch: e * 1_000_000, ..EnsembleConfig::default() };
+        let ens_cfg = EnsembleConfig {
+            epoch: e * 1_000_000,
+            ..EnsembleConfig::default()
+        };
         let (samples, _) = replay_ensemble(&trace.arrivals, ens_cfg);
         // Judge accuracy after 4 epochs of warm-up.
         let err = accuracy_of(&trace, &samples, 4 * e * 1_000_000);
-        t.row(&[e.to_string(), samples.len().to_string(), format!("{err:.3}")]);
+        t.row(&[
+            e.to_string(),
+            samples.len().to_string(),
+            format!("{err:.3}"),
+        ]);
     }
     t
 }
@@ -90,7 +108,10 @@ pub fn k_sweep(cfg: &Fig2Config, ks: &[usize]) -> Table {
         assert!(k >= 2, "ensemble needs k >= 2");
         let timeouts: Vec<u64> = (0..k).map(|i| 64_000u64 << i).collect();
         let max_us = timeouts.last().unwrap() / 1_000;
-        let ens_cfg = EnsembleConfig { timeouts, ..EnsembleConfig::default() };
+        let ens_cfg = EnsembleConfig {
+            timeouts,
+            ..EnsembleConfig::default()
+        };
         let (samples, _) = replay_ensemble(&trace.arrivals, ens_cfg);
         let err = accuracy_of(&trace, &samples, 500_000_000);
         t.row(&[
@@ -144,7 +165,13 @@ pub fn alpha_sweep(cfg: &Fig3Config, alphas: &[f64]) -> Table {
 pub fn margin_sweep(cfg: &Fig3Config, margins: &[f64]) -> Table {
     let mut t = Table::new(
         "ABL-MARGIN: action margin vs healthy-state stability and reaction",
-        &["margin", "p95_healthy_us", "p95_after_us", "reaction_ms", "rebuilds"],
+        &[
+            "margin",
+            "p95_healthy_us",
+            "p95_after_us",
+            "reaction_ms",
+            "rebuilds",
+        ],
     );
     for &margin in margins {
         let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
@@ -188,14 +215,17 @@ pub fn timing_violations(cfg: &Fig2Config) -> Table {
         (
             "delayed-acks",
             Box::new(|s| {
-                s.sink_delayed_ack =
-                    nettcp::DelayedAck::Enabled { max_delay: Duration::from_millis(40) };
+                s.sink_delayed_ack = nettcp::DelayedAck::Enabled {
+                    max_delay: Duration::from_millis(40),
+                };
             }),
         ),
         (
             "pacing",
             Box::new(|s| {
-                s.client_pacing = nettcp::Pacing::Enabled { min_gap: Duration::from_micros(120) };
+                s.client_pacing = nettcp::Pacing::Enabled {
+                    min_gap: Duration::from_micros(120),
+                };
             }),
         ),
         (
@@ -224,7 +254,11 @@ pub fn timing_violations(cfg: &Fig2Config) -> Table {
             .map(|e| e.at.as_nanos())
             .collect();
         let truth = scenario.client_app().recorder.rtt_raw().to_vec();
-        let trace = Fig2Trace { arrivals, truth, step_at: 0 };
+        let trace = Fig2Trace {
+            arrivals,
+            truth,
+            step_at: 0,
+        };
         let (samples, _) = replay_ensemble(&trace.arrivals, EnsembleConfig::default());
         let err = accuracy_of(&trace, &samples, 500_000_000);
         t.row(&[
@@ -246,7 +280,10 @@ pub fn controller_comparison(cfg: &Fig3Config) -> Table {
     let factories: Vec<(&str, ControllerFactory)> = vec![
         ("alpha-shift", Box::new(|| Box::new(AlphaShift::damped()))),
         ("aimd", Box::new(|| Box::new(AimdController::new()))),
-        ("proportional", Box::new(|| Box::new(ProportionalController::new(1.0)))),
+        (
+            "proportional",
+            Box::new(|| Box::new(ProportionalController::new(1.0))),
+        ),
     ];
     for (name, make) in factories {
         let ctl = make();
@@ -276,8 +313,7 @@ pub fn controller_comparison(cfg: &Fig3Config) -> Table {
     {
         let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
             Box::new(|backends| {
-                let mut lb =
-                    LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+                let mut lb = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
                 lb.policy = lb_dataplane::RoutingPolicy::PowerOfTwo;
                 lb
             });
@@ -315,7 +351,14 @@ pub fn controller_comparison(cfg: &Fig3Config) -> Table {
 pub fn herd_model(n_lbs_list: &[usize]) -> Table {
     let mut t = Table::new(
         "ABL-HERD: N LBs x observation staleness, shared backends (model)",
-        &["n_lbs", "staleness_ms", "share_mean", "share_stddev", "share_min", "share_max"],
+        &[
+            "n_lbs",
+            "staleness_ms",
+            "share_mean",
+            "share_stddev",
+            "share_min",
+            "share_max",
+        ],
     );
     for &n_lbs in n_lbs_list {
         for &staleness_ms in &[0usize, 5, 20] {
@@ -361,14 +404,13 @@ pub fn herd_model(n_lbs_list: &[usize]) -> Table {
                     ctl.maybe_update(now, &est, w);
                 }
                 if step >= 200 {
-                    let share: f64 =
-                        weights.iter().map(|w| w.get(0)).sum::<f64>() / n_lbs as f64;
+                    let share: f64 = weights.iter().map(|w| w.get(0)).sum::<f64>() / n_lbs as f64;
                     shares.push(share);
                 }
             }
             let mean = shares.iter().sum::<f64>() / shares.len() as f64;
-            let var = shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>()
-                / shares.len() as f64;
+            let var =
+                shares.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / shares.len() as f64;
             let min = shares.iter().cloned().fold(f64::MAX, f64::min);
             let max = shares.iter().cloned().fold(f64::MIN, f64::max);
             t.row(&[
@@ -394,7 +436,13 @@ pub fn cliff_rule_comparison(cfg: &Fig3Config) -> Table {
     use lbcore::ensemble::CliffRule;
     let mut t = Table::new(
         "ABL-CLIFF: cliff-detection rule vs control quality (Fig 3 scenario)",
-        &["rule", "p95_after_us", "reaction_ms", "rebuilds", "giant_sample_pct"],
+        &[
+            "rule",
+            "p95_after_us",
+            "reaction_ms",
+            "rebuilds",
+            "giant_sample_pct",
+        ],
     );
     for (name, rule) in [
         ("argmax-ratio (paper)", CliffRule::ArgmaxRatio),
@@ -402,8 +450,7 @@ pub fn cliff_rule_comparison(cfg: &Fig3Config) -> Table {
     ] {
         let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
             Box::new(move |backends| {
-                let mut lb =
-                    LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+                let mut lb = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
                 lb.ensemble.rule = rule;
                 lb
             });
@@ -468,8 +515,14 @@ pub fn far_clients(cfg: &Fig3Config) -> Table {
         // Split the workload across a near and a far client host.
         let base = cluster_cfg.clients[0].clone();
         cluster_cfg.clients = vec![
-            workload::MemtierConfig { connections: 8, ..base.clone() },
-            workload::MemtierConfig { connections: 8, ..base },
+            workload::MemtierConfig {
+                connections: 8,
+                ..base.clone()
+            },
+            workload::MemtierConfig {
+                connections: 8,
+                ..base
+            },
         ];
         cluster_cfg.client_delay_overrides = vec![None, Some(Duration::from_millis(2))];
         let mut cluster = KvCluster::build(cluster_cfg);
@@ -518,7 +571,14 @@ pub fn far_clients(cfg: &Fig3Config) -> Table {
 pub fn congestion(cfg: &Fig3Config) -> Table {
     let mut t = Table::new(
         "EXP-CONGESTION: fast server behind a congested path vs slower clean server",
-        &["pattern", "variant", "p95_us", "p99_us", "share_congested", "requests"],
+        &[
+            "pattern",
+            "variant",
+            "p95_us",
+            "p99_us",
+            "share_congested",
+            "requests",
+        ],
     );
     /// (label, blaster duty cycle, blaster rate).
     type Pattern = (&'static str, Option<(Duration, Duration)>, u64);
@@ -526,13 +586,27 @@ pub fn congestion(cfg: &Fig3Config) -> Table {
         // Continuous 130 Mb/s of a 150 Mb/s bottleneck: persistent queueing.
         ("sustained", None, 130_000_000),
         // Slow bursts the controller can track (200 ms on / 200 ms off).
-        ("bursty-200ms", Some((Duration::from_millis(200), Duration::from_millis(200))), 140_000_000),
+        (
+            "bursty-200ms",
+            Some((Duration::from_millis(200), Duration::from_millis(200))),
+            140_000_000,
+        ),
         // Fast bursts well above the control loop's actuation bandwidth
         // (weights only affect *new* connections, which churn every ~50 ms).
-        ("bursty-20ms", Some((Duration::from_millis(20), Duration::from_millis(40))), 140_000_000),
+        (
+            "bursty-20ms",
+            Some((Duration::from_millis(20), Duration::from_millis(40))),
+            140_000_000,
+        ),
     ];
     for (pattern, duty, rate) in patterns {
-        for variant in ["maglev", "latency-aware", "aware-p90", "aware-p90-h100ms", "power-of-two"] {
+        for variant in [
+            "maglev",
+            "latency-aware",
+            "aware-p90",
+            "aware-p90-h100ms",
+            "power-of-two",
+        ] {
             let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> = match variant {
                 "latency-aware" => Box::new(|backends| {
                     LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()))
@@ -567,10 +641,14 @@ pub fn congestion(cfg: &Fig3Config) -> Table {
             cluster_cfg.seed = cfg.seed;
             // Backend 0: faster servers, congested path. Backend 1: slower
             // servers, clean path. A server-load signal would prefer 0.
-            cluster_cfg.backends[0].service =
-                backend::ServiceDist::LogNormal { median: 40_000, sigma: 0.3 };
-            cluster_cfg.backends[1].service =
-                backend::ServiceDist::LogNormal { median: 80_000, sigma: 0.3 };
+            cluster_cfg.backends[0].service = backend::ServiceDist::LogNormal {
+                median: 40_000,
+                sigma: 0.3,
+            };
+            cluster_cfg.backends[1].service = backend::ServiceDist::LogNormal {
+                median: 80_000,
+                sigma: 0.3,
+            };
             cluster_cfg.congestion = Some(crate::topology::CongestionConfig {
                 backend: 0,
                 bottleneck_bps: 150_000_000,
@@ -616,13 +694,19 @@ pub fn congestion(cfg: &Fig3Config) -> Table {
 pub fn pcc(cfg: &Fig3Config) -> Table {
     let mut t = Table::new(
         "ABL-PCC: connection affinity vs broken connections under weight churn",
-        &["affinity", "conns_opened", "conns_broken", "broken_pct", "requests_lost", "rebuilds"],
+        &[
+            "affinity",
+            "conns_opened",
+            "conns_broken",
+            "broken_pct",
+            "requests_lost",
+            "rebuilds",
+        ],
     );
     for affinity in [true, false] {
         let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
             Box::new(move |backends| {
-                let mut lb =
-                    LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+                let mut lb = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
                 lb.affinity = affinity;
                 lb
             });
@@ -666,7 +750,13 @@ pub fn pcc(cfg: &Fig3Config) -> Table {
 pub fn failover(cfg: &Fig3Config) -> Table {
     let mut t = Table::new(
         "EXP-FAILOVER: LB death mid-run, 2 LBs behind ECMP",
-        &["variant", "conns_opened", "conns_broken", "broken_pct", "requests"],
+        &[
+            "variant",
+            "conns_opened",
+            "conns_broken",
+            "broken_pct",
+            "requests",
+        ],
     );
     for (variant, aware) in [("maglev", false), ("latency-aware", true)] {
         let make = move |backends: Vec<std::net::Ipv4Addr>| -> LbConfig {
@@ -715,7 +805,13 @@ pub fn failover(cfg: &Fig3Config) -> Table {
 pub fn oob_comparison(cfg: &Fig3Config) -> Table {
     let mut t = Table::new(
         "ABL-OOB: in-band vs out-of-band signals, 1ms injected at backend 0",
-        &["signal", "inject", "p95_after_us", "reaction_ms", "signal_events"],
+        &[
+            "signal",
+            "inject",
+            "p95_after_us",
+            "reaction_ms",
+            "signal_events",
+        ],
     );
     let variants: Vec<(&str, Option<Duration>)> = vec![
         ("in-band", None),
@@ -754,7 +850,11 @@ pub fn oob_comparison(cfg: &Fig3Config) -> Table {
             let recorder = &cluster.client_app(0).recorder;
             let p95 = p95_get_after(recorder, inject_at.as_nanos());
             let lb = cluster.lb_node();
-            let events = if oob { lb.stats.oob_reports } else { lb.stats.samples };
+            let events = if oob {
+                lb.stats.oob_reports
+            } else {
+                lb.stats.samples
+            };
             t.row(&[
                 name.to_string(),
                 inject_mode.to_string(),

@@ -82,7 +82,11 @@ impl core::fmt::Display for ConfigError {
                 write!(f, "line {line}: key outside any [section]")
             }
             ConfigError::BadValue { key, value } => write!(f, "{key}: bad value '{value}'"),
-            ConfigError::BadOption { key, value, allowed } => {
+            ConfigError::BadOption {
+                key,
+                value,
+                allowed,
+            } => {
                 write!(f, "{key}: '{value}' is not one of {allowed}")
             }
         }
@@ -114,7 +118,10 @@ impl ScenarioFile {
                     .expect("section inserted on header")
                     .insert(k.trim().to_ascii_lowercase(), v.trim().to_string());
             } else {
-                return Err(ConfigError::Syntax { line: i + 1, text: line.to_string() });
+                return Err(ConfigError::Syntax {
+                    line: i + 1,
+                    text: line.to_string(),
+                });
             }
         }
         Ok(out)
@@ -125,7 +132,12 @@ impl ScenarioFile {
         self.sections.get(section)?.get(key).map(String::as_str)
     }
 
-    fn typed<T: std::str::FromStr>(&self, section: &str, key: &str, default: T) -> Result<T, ConfigError> {
+    fn typed<T: std::str::FromStr>(
+        &self,
+        section: &str,
+        key: &str,
+        default: T,
+    ) -> Result<T, ConfigError> {
         match self.get(section, key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ConfigError::BadValue {
@@ -157,11 +169,17 @@ pub fn build_scenario(file: &ScenarioFile) -> Result<Scenario, ConfigError> {
     let requests_per_conn: u64 = file.typed("cluster", "requests_per_conn", 200)?;
     let service_median_us: u64 = file.typed("cluster", "service_median_us", 60)?;
 
-    let mode = file.get("lb", "mode").unwrap_or("aware").to_ascii_lowercase();
+    let mode = file
+        .get("lb", "mode")
+        .unwrap_or("aware")
+        .to_ascii_lowercase();
     let alpha: f64 = file.typed("lb", "alpha", 0.10)?;
     let margin: f64 = file.typed("lb", "margin", 0.10)?;
     if !(0.0..1.0).contains(&alpha) {
-        return Err(ConfigError::BadValue { key: "lb.alpha".into(), value: alpha.to_string() });
+        return Err(ConfigError::BadValue {
+            key: "lb.alpha".into(),
+            value: alpha.to_string(),
+        });
     }
 
     let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> = match mode.as_str() {
@@ -224,7 +242,11 @@ pub fn build_scenario(file: &ScenarioFile) -> Result<Scenario, ConfigError> {
         inject_at = Some(at);
     }
 
-    Ok(Scenario { cluster, duration: Duration::from_secs_f64(duration_s), inject_at })
+    Ok(Scenario {
+        cluster,
+        duration: Duration::from_secs_f64(duration_s),
+        inject_at,
+    })
 }
 
 #[cfg(test)]
@@ -282,7 +304,8 @@ mod tests {
 
     #[test]
     fn defaults_fill_in_and_scenario_runs() {
-        let f = ScenarioFile::parse("[cluster]\nduration_s = 0.5\n[lb]\nmode = baseline\n").unwrap();
+        let f =
+            ScenarioFile::parse("[cluster]\nduration_s = 0.5\n[lb]\nmode = baseline\n").unwrap();
         let mut sc = build_scenario(&f).unwrap();
         assert_eq!(sc.inject_at, None);
         sc.cluster.sim.run_for(sc.duration);

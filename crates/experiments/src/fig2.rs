@@ -81,14 +81,20 @@ pub fn capture_trace(cfg: &Fig2Config) -> Fig2Trace {
         "trace overflowed; raise capacity"
     );
     let truth = scenario.client_app().recorder.rtt_raw().to_vec();
-    Fig2Trace { arrivals, truth, step_at: step_at.as_nanos() }
+    Fig2Trace {
+        arrivals,
+        truth,
+        step_at: step_at.as_nanos(),
+    }
 }
 
 /// Replays `FIXEDTIMEOUT` with timeout `delta` over an arrival series.
 pub fn replay_fixed(arrivals: &[u64], delta: u64) -> Vec<(u64, u64)> {
     let alg = FixedTimeout::new(delta);
     let mut out = Vec::new();
-    let Some((&first, rest)) = arrivals.split_first() else { return out };
+    let Some((&first, rest)) = arrivals.split_first() else {
+        return out;
+    };
     let mut state = FlowTiming::first_packet(first);
     for &t in rest {
         if let Some(s) = alg.on_packet(&mut state, t) {
@@ -106,7 +112,9 @@ pub type TimedSeries = Vec<(u64, u64)>;
 pub fn replay_ensemble(arrivals: &[u64], cfg: EnsembleConfig) -> (TimedSeries, TimedSeries) {
     let mut ens = EnsembleTimeout::new(cfg);
     let mut out = Vec::new();
-    let Some((&first, rest)) = arrivals.split_first() else { return (out, Vec::new()) };
+    let Some((&first, rest)) = arrivals.split_first() else {
+        return (out, Vec::new());
+    };
     let mut state = ens.new_flow(first);
     for &t in rest {
         if let Some(s) = ens.on_packet(&mut state, t) {
@@ -132,8 +140,16 @@ pub struct Fig2aResult {
 }
 
 fn split_at(samples: &[(u64, u64)], t: u64) -> (Vec<u64>, Vec<u64>) {
-    let before = samples.iter().filter(|&&(at, _)| at < t).map(|&(_, v)| v).collect();
-    let after = samples.iter().filter(|&&(at, _)| at >= t).map(|&(_, v)| v).collect();
+    let before = samples
+        .iter()
+        .filter(|&&(at, _)| at < t)
+        .map(|&(_, v)| v)
+        .collect();
+    let after = samples
+        .iter()
+        .filter(|&&(at, _)| at >= t)
+        .map(|&(_, v)| v)
+        .collect();
     (before, after)
 }
 
@@ -167,7 +183,13 @@ pub fn fig2a_table(r: &Fig2aResult) -> Table {
     let mut t = Table::new(
         "Fig 2(a): FIXEDTIMEOUT T_LB vs ground truth T_client (us; 250ms bins)",
         &[
-            "t_s", "truth_med", "truth_n", "d64us_med", "d64us_n", "d1024us_med", "d1024us_n",
+            "t_s",
+            "truth_med",
+            "truth_n",
+            "d64us_med",
+            "d64us_n",
+            "d1024us_med",
+            "d1024us_n",
         ],
     );
     let bin = 250_000_000u64;
@@ -179,12 +201,18 @@ pub fn fig2a_table(r: &Fig2aResult) -> Table {
         .chain(r.low.iter().map(|&(t, _)| t))
         .max()
         .unwrap_or(0);
-    let us = |v: Option<u64>| v.map(|x| format!("{:.1}", x as f64 / 1e3)).unwrap_or_else(|| "-".into());
+    let us = |v: Option<u64>| {
+        v.map(|x| format!("{:.1}", x as f64 / 1e3))
+            .unwrap_or_else(|| "-".into())
+    };
     for b in 0..=(end / bin) {
         let lo = b * bin;
         let hi = lo + bin;
         let pick = |s: &[(u64, u64)]| -> Vec<u64> {
-            s.iter().filter(|&&(at, _)| at >= lo && at < hi).map(|&(_, v)| v).collect()
+            s.iter()
+                .filter(|&&(at, _)| at >= lo && at < hi)
+                .map(|&(_, v)| v)
+                .collect()
         };
         let tr = pick(&r.trace.truth);
         let lo_s = pick(&r.low);
@@ -223,8 +251,11 @@ pub fn run_fig2b(cfg: &Fig2Config) -> Fig2bResult {
     let (truth_pre, truth_post) = split_at(&trace.truth, trace.step_at);
     let (s_pre, s_post) = split_at(&samples, trace.step_at);
     // Skip the first 500 ms (ensemble warm-up) in the pre-step summary.
-    let warm: Vec<(u64, u64)> =
-        samples.iter().copied().filter(|&(t, _)| t > 500_000_000).collect();
+    let warm: Vec<(u64, u64)> = samples
+        .iter()
+        .copied()
+        .filter(|&(t, _)| t > 500_000_000)
+        .collect();
     let (s_pre_warm, _) = split_at(&warm, trace.step_at);
     let _ = s_pre;
     let q = [0.5];
@@ -253,12 +284,18 @@ pub fn fig2b_table(r: &Fig2bResult) -> Table {
         .chain(r.samples.iter().map(|&(t, _)| t))
         .max()
         .unwrap_or(0);
-    let us = |v: Option<u64>| v.map(|x| format!("{:.1}", x as f64 / 1e3)).unwrap_or_else(|| "-".into());
+    let us = |v: Option<u64>| {
+        v.map(|x| format!("{:.1}", x as f64 / 1e3))
+            .unwrap_or_else(|| "-".into())
+    };
     for b in 0..=(end / bin) {
         let lo = b * bin;
         let hi = lo + bin;
         let pick = |s: &[(u64, u64)]| -> Vec<u64> {
-            s.iter().filter(|&&(at, _)| at >= lo && at < hi).map(|&(_, v)| v).collect()
+            s.iter()
+                .filter(|&&(at, _)| at >= lo && at < hi)
+                .map(|&(_, v)| v)
+                .collect()
         };
         let tr = pick(&r.trace.truth);
         let est = pick(&r.samples);

@@ -90,9 +90,7 @@ pub struct Fig3Result {
 
 fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
     let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> = if latency_aware {
-        Box::new(|backends| {
-            LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()))
-        })
+        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())))
     } else {
         Box::new(|backends| LbConfig::baseline(VIP, backends))
     };
@@ -155,7 +153,11 @@ fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
 pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
     let baseline = run_variant(cfg, false);
     let aware = run_variant(cfg, true);
-    Fig3Result { cfg: cfg.clone(), baseline, aware }
+    Fig3Result {
+        cfg: cfg.clone(),
+        baseline,
+        aware,
+    }
 }
 
 /// Renders the p95-vs-time comparison (the figure's two curves).
@@ -172,7 +174,10 @@ pub fn fig3_table(r: &Fig3Result) -> Table {
     for &(at, v) in &r.aware.p95_series {
         by_bin.entry(at).or_default().1 = Some(v);
     }
-    let us = |v: Option<u64>| v.map(|x| format!("{:.1}", x as f64 / 1e3)).unwrap_or_else(|| "-".into());
+    let us = |v: Option<u64>| {
+        v.map(|x| format!("{:.1}", x as f64 / 1e3))
+            .unwrap_or_else(|| "-".into())
+    };
     for (at, (b, a)) in by_bin {
         t.row(&[format!("{:.1}", at as f64 / 1e9), us(b), us(a)]);
     }
@@ -183,7 +188,14 @@ pub fn fig3_table(r: &Fig3Result) -> Table {
 pub fn fig3_summary_table(r: &Fig3Result) -> Table {
     let mut t = Table::new(
         "Fig 3 summary",
-        &["variant", "p95_before_us", "p95_after_us", "inflation", "reaction_ms", "requests"],
+        &[
+            "variant",
+            "p95_before_us",
+            "p95_after_us",
+            "inflation",
+            "reaction_ms",
+            "requests",
+        ],
     );
     let inject_ns = (Time::ZERO + r.cfg.inject_at).as_nanos();
     for (name, run) in [("maglev", &r.baseline), ("latency-aware", &r.aware)] {

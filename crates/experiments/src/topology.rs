@@ -118,7 +118,13 @@ impl KvClusterConfig {
                 requests_per_conn: 200,
                 ..MemtierConfig::default()
             }],
-            backends: vec![KvServerConfig::default(), KvServerConfig { seed: 1, ..KvServerConfig::default() }],
+            backends: vec![
+                KvServerConfig::default(),
+                KvServerConfig {
+                    seed: 1,
+                    ..KvServerConfig::default()
+                },
+            ],
             lb,
             extra_lbs: Vec::new(),
             lb_failure: None,
@@ -171,7 +177,11 @@ impl KvCluster {
         let mut lb_ids = Vec::with_capacity(num_lbs);
         let mut lb_arms = Vec::with_capacity(num_lbs);
         for i in 0..num_lbs {
-            let lb_id = sim.reserve_node(if i == 0 { "lb".to_string() } else { format!("lb-{i}") });
+            let lb_id = sim.reserve_node(if i == 0 {
+                "lb".to_string()
+            } else {
+                format!("lb-{i}")
+            });
             let arm = sim.add_link(
                 router_id,
                 lb_id,
@@ -222,11 +232,7 @@ impl KvCluster {
                 let bottleneck = sim.add_link(
                     agg,
                     node,
-                    LinkConfig::new(
-                        c.bottleneck_bps,
-                        cfg.backend_delay,
-                        c.queue_bytes,
-                    ),
+                    LinkConfig::new(c.bottleneck_bps, cfg.backend_delay, c.queue_bytes),
                 );
                 let blaster_node = sim.reserve_node(format!("blaster-{j}"));
                 let blast_link = sim.add_link(
@@ -267,10 +273,14 @@ impl KvCluster {
                 LinkConfig::new(cfg.rate_bps, cfg.backend_delay, 1 << 20),
             );
             router.add_route(ip, return_link);
-            let mut host_cfg = HostConfig::new(ip, netsim::rng::derive_seed(cfg.seed, 100 + j as u64));
+            let mut host_cfg =
+                HostConfig::new(ip, netsim::rng::derive_seed(cfg.seed, 100 + j as u64));
             host_cfg.extra_ips.push(VIP); // DSR: the VIP lives on the backend's loopback
             host_cfg.rx_jitter = cfg.host_jitter;
-            let mut server_cfg = KvServerConfig { port: KV_PORT, ..server_cfg };
+            let mut server_cfg = KvServerConfig {
+                port: KV_PORT,
+                ..server_cfg
+            };
             if let Some(period) = cfg.oob_report_period {
                 server_cfg.report = Some(backend::OobAgent {
                     control_ip: CONTROL_IP,
@@ -283,7 +293,12 @@ impl KvCluster {
             // The host's uplink (where replies go) is the router link.
             sim.install_node(
                 node,
-                Box::new(Host::new(host_cfg, MacAddr::from_id(0xb0 + j as u32), return_link, app)),
+                Box::new(Host::new(
+                    host_cfg,
+                    MacAddr::from_id(0xb0 + j as u32),
+                    return_link,
+                    app,
+                )),
             );
             backend_nodes.push(node);
         }
@@ -320,7 +335,8 @@ impl KvCluster {
                 LinkConfig::new(cfg.rate_bps, delay, 1 << 20),
             );
             router.add_route(ip, link);
-            let mut host_cfg = HostConfig::new(ip, netsim::rng::derive_seed(cfg.seed, 200 + i as u64));
+            let mut host_cfg =
+                HostConfig::new(ip, netsim::rng::derive_seed(cfg.seed, 200 + i as u64));
             host_cfg.rx_jitter = cfg.host_jitter;
             host_cfg.tcp = cfg.client_tcp;
             mem_cfg.vip = VIP;
@@ -329,7 +345,12 @@ impl KvCluster {
             let app = Box::new(MemtierClient::new(mem_cfg));
             sim.install_node(
                 node,
-                Box::new(Host::new(host_cfg, MacAddr::from_id(0xc0 + i as u32), link, app)),
+                Box::new(Host::new(
+                    host_cfg,
+                    MacAddr::from_id(0xc0 + i as u32),
+                    link,
+                    app,
+                )),
             );
             client_nodes.push(node);
         }
@@ -513,7 +534,11 @@ impl BacklogScenario {
         c_cfg.rx_spike = cfg.client_spike;
         c_cfg.tcp = TcpConfig::window_limited(cfg.window_segments);
         c_cfg.tcp.pacing = cfg.client_pacing;
-        let mut bulk = BacklogConfig { dst: VIP, port: BULK_PORT, ..BacklogConfig::default() };
+        let mut bulk = BacklogConfig {
+            dst: VIP,
+            port: BULK_PORT,
+            ..BacklogConfig::default()
+        };
         if let Some((poll, chunk)) = cfg.app_limited {
             // Application-limited: small sporadic writes instead of a
             // continuously backlogged buffer.

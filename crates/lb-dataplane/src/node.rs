@@ -95,7 +95,11 @@ pub struct LbConfig {
 impl LbConfig {
     /// A latency-aware LB with the paper's parameters and a given
     /// controller.
-    pub fn latency_aware(vip: Ipv4Addr, backends: Vec<Ipv4Addr>, controller: Box<dyn Controller>) -> LbConfig {
+    pub fn latency_aware(
+        vip: Ipv4Addr,
+        backends: Vec<Ipv4Addr>,
+        controller: Box<dyn Controller>,
+    ) -> LbConfig {
         LbConfig {
             vip,
             backends,
@@ -220,7 +224,9 @@ impl LbNode {
         let table = MaglevTable::build(weights.as_slice(), cfg.table_size);
         let flows =
             FlowTable::with_capacity(cfg.flow_idle_timeout.as_nanos(), cfg.flow_table_capacity);
-        let ensembles = (0..n).map(|_| EnsembleTimeout::new(cfg.ensemble.clone())).collect();
+        let ensembles = (0..n)
+            .map(|_| EnsembleTimeout::new(cfg.ensemble.clone()))
+            .collect();
         let mut estimator =
             BackendEstimator::new(n, cfg.estimator_alpha, cfg.estimator_staleness.as_nanos())
                 .with_signal_quantile(cfg.signal_quantile);
@@ -286,8 +292,12 @@ impl LbNode {
 
     /// Handles a datagram on the control address; returns true if consumed.
     fn try_control(&mut self, now: Time, pkt: &Packet) -> bool {
-        let Some((ip, port)) = self.cfg.control_addr else { return false };
-        let Ok((hdr, udp, payload)) = netpkt::udp::parse_udp(&pkt.data) else { return false };
+        let Some((ip, port)) = self.cfg.control_addr else {
+            return false;
+        };
+        let Ok((hdr, udp, payload)) = netpkt::udp::parse_udp(&pkt.data) else {
+            return false;
+        };
         if hdr.dst != ip || udp.dst_port != port {
             return false;
         }
@@ -422,10 +432,10 @@ impl LbNode {
         if self.cfg.policy == RoutingPolicy::PowerOfTwo {
             return; // p2c consumes estimates directly; no table to reshape
         }
-        let changed = self
-            .cfg
-            .controller
-            .maybe_update(now.as_nanos(), &self.estimator, &mut self.weights);
+        let changed =
+            self.cfg
+                .controller
+                .maybe_update(now.as_nanos(), &self.estimator, &mut self.weights);
         if changed {
             self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
             self.stats.table_rebuilds += 1;
@@ -465,11 +475,20 @@ mod tests {
 
     fn client_pkt(src_port: u16, flags: TcpFlags, seq: u32) -> Packet {
         Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            CLIENT,
-            VIP,
-            &TcpHeader { src_port, dst_port: 11211, seq, ack: 0, flags, window: 8192 },
+            netpkt::Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: CLIENT,
+                dst_ip: VIP,
+            },
+            &TcpHeader {
+                src_port,
+                dst_port: 11211,
+                seq,
+                ack: 0,
+                flags,
+                window: 8192,
+            },
             b"",
             64,
             0,
@@ -520,7 +539,10 @@ mod tests {
         let l0 = sim.add_link(lb, sink0, netsim::LinkConfig::default());
         let l1 = sim.add_link(lb, sink1, netsim::LinkConfig::default());
         sim.install_node(inj, Box::new(Injector { link: l_in, script }));
-        sim.install_node(lb, Box::new(LbNode::new(cfg, MacAddr::from_id(9), vec![l0, l1])));
+        sim.install_node(
+            lb,
+            Box::new(LbNode::new(cfg, MacAddr::from_id(9), vec![l0, l1])),
+        );
         (sim, lb, [sink0, sink1])
     }
 
@@ -537,8 +559,14 @@ mod tests {
     #[test]
     fn syn_admits_flow_and_forwards_with_vip_intact() {
         let script = vec![
-            (Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1)),
-            (Duration::from_micros(50), client_pkt(4000, TcpFlags::ACK, 2)),
+            (
+                Duration::from_micros(10),
+                client_pkt(4000, TcpFlags::SYN, 1),
+            ),
+            (
+                Duration::from_micros(50),
+                client_pkt(4000, TcpFlags::ACK, 2),
+            ),
         ];
         let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
         sim.run_for(Duration::from_millis(10));
@@ -557,7 +585,10 @@ mod tests {
 
     #[test]
     fn same_flow_sticks_to_one_backend() {
-        let mut script = vec![(Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1))];
+        let mut script = vec![(
+            Duration::from_micros(10),
+            client_pkt(4000, TcpFlags::SYN, 1),
+        )];
         for i in 0..20u64 {
             script.push((
                 Duration::from_micros(100 + i * 10),
@@ -576,7 +607,10 @@ mod tests {
     fn different_flows_spread_over_backends() {
         let mut script = Vec::new();
         for port in 0..64u16 {
-            script.push((Duration::from_micros(10 + port as u64), client_pkt(4000 + port, TcpFlags::SYN, 1)));
+            script.push((
+                Duration::from_micros(10 + port as u64),
+                client_pkt(4000 + port, TcpFlags::SYN, 1),
+            ));
         }
         let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
         sim.run_for(Duration::from_millis(10));
@@ -595,9 +629,18 @@ mod tests {
         // straggler (the teardown's final ACK) must still hit the pinned
         // entry so it reaches the same backend.
         let script = vec![
-            (Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1)),
-            (Duration::from_micros(50), client_pkt(4000, TcpFlags::FIN | TcpFlags::ACK, 2)),
-            (Duration::from_micros(90), client_pkt(4000, TcpFlags::ACK, 3)),
+            (
+                Duration::from_micros(10),
+                client_pkt(4000, TcpFlags::SYN, 1),
+            ),
+            (
+                Duration::from_micros(50),
+                client_pkt(4000, TcpFlags::FIN | TcpFlags::ACK, 2),
+            ),
+            (
+                Duration::from_micros(90),
+                client_pkt(4000, TcpFlags::ACK, 3),
+            ),
         ];
         let mut cfg = LbConfig::baseline(VIP, backends());
         cfg.flow_idle_timeout = Duration::from_millis(5);
@@ -607,7 +650,10 @@ mod tests {
         {
             let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
             assert_eq!(lb_node.stats.flow_closes, 1, "FIN observed");
-            assert_eq!(lb_node.stats.fallback_forwards, 0, "straggler used the entry");
+            assert_eq!(
+                lb_node.stats.fallback_forwards, 0,
+                "straggler used the entry"
+            );
             assert_eq!(lb_node.flow_count(), 1, "entry survives the FIN");
             assert_eq!(lb_node.stats.forwarded, 3);
         }
@@ -619,11 +665,20 @@ mod tests {
     #[test]
     fn non_vip_traffic_dropped() {
         let stray = Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            CLIENT,
-            Ipv4Addr::new(8, 8, 8, 8),
-            &TcpHeader { src_port: 1, dst_port: 2, seq: 0, ack: 0, flags: TcpFlags::SYN, window: 1 },
+            netpkt::Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: CLIENT,
+                dst_ip: Ipv4Addr::new(8, 8, 8, 8),
+            },
+            &TcpHeader {
+                src_port: 1,
+                dst_port: 2,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::SYN,
+                window: 1,
+            },
             b"",
             64,
             0,
@@ -648,7 +703,10 @@ mod tests {
                 )
             })
             .collect();
-        script.push((Duration::from_millis(5), client_pkt(9_000, TcpFlags::SYN, 1)));
+        script.push((
+            Duration::from_millis(5),
+            client_pkt(9_000, TcpFlags::SYN, 1),
+        ));
         script.push((
             Duration::from_millis(6),
             client_pkt(9_000, TcpFlags::ACK | TcpFlags::PSH, 2),
@@ -658,8 +716,15 @@ mod tests {
         let (mut sim, lb, sinks) = rig(cfg, script);
         sim.run_for(Duration::from_millis(20));
         let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
-        assert!(lb_node.flow_count() <= 256, "table grew to {}", lb_node.flow_count());
-        assert_eq!(lb_node.stats.forwarded, 5002, "flood packets must still forward");
+        assert!(
+            lb_node.flow_count() <= 256,
+            "table grew to {}",
+            lb_node.flow_count()
+        );
+        assert_eq!(
+            lb_node.stats.forwarded, 5002,
+            "flood packets must still forward"
+        );
         // The real flow's data packet followed its SYN to the same place.
         assert!(delivered(&sim, sinks).len() >= 5002);
     }
@@ -685,7 +750,10 @@ mod tests {
         for h in 0..200u64 {
             seen[lb.pick_backend(netpkt::flow::splitmix64(h), 0)] += 1;
         }
-        assert!(seen[0] > 50 && seen[1] > 50, "unbalanced without estimates: {seen:?}");
+        assert!(
+            seen[0] > 50 && seen[1] > 50,
+            "unbalanced without estimates: {seen:?}"
+        );
 
         // Backend 0 measured much slower: every pick goes to backend 1.
         for i in 0..20 {
@@ -703,7 +771,10 @@ mod tests {
         // of an established flow land per the table, not the pin.
         let mut cfg = LbConfig::baseline(VIP, backends());
         cfg.affinity = false;
-        let mut script = vec![(Duration::from_micros(10), client_pkt(4000, TcpFlags::SYN, 1))];
+        let mut script = vec![(
+            Duration::from_micros(10),
+            client_pkt(4000, TcpFlags::SYN, 1),
+        )];
         for i in 0..10u64 {
             script.push((
                 Duration::from_micros(100 + i * 10),
@@ -723,7 +794,10 @@ mod tests {
         // The SYN went wherever the original table said; all post-skew
         // packets went to backend 1.
         let after_skew: Vec<usize> = got.iter().skip(1).map(|&(i, _)| i).collect();
-        assert!(after_skew.iter().all(|&i| i == 1), "stateless routing ignored the table");
+        assert!(
+            after_skew.iter().all(|&i| i == 1),
+            "stateless routing ignored the table"
+        );
     }
 
     #[test]
@@ -736,7 +810,11 @@ mod tests {
             for i in 0..4u64 {
                 script.push((
                     t + Duration::from_micros(i * 20),
-                    client_pkt(4000, TcpFlags::ACK | TcpFlags::PSH, batch as u32 * 4 + i as u32),
+                    client_pkt(
+                        4000,
+                        TcpFlags::ACK | TcpFlags::PSH,
+                        batch as u32 * 4 + i as u32,
+                    ),
                 ));
             }
             t += Duration::from_millis(1);
@@ -744,7 +822,11 @@ mod tests {
         let (mut sim, lb, _sink) = rig(LbConfig::observer(VIP, backends()), script);
         sim.run_for(Duration::from_secs(1));
         let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
-        assert!(lb_node.stats.samples > 100, "samples: {}", lb_node.stats.samples);
+        assert!(
+            lb_node.stats.samples > 100,
+            "samples: {}",
+            lb_node.stats.samples
+        );
         // After the ensemble settles, samples should be ~1 ms.
         let late: Vec<u64> = lb_node
             .samples()
@@ -752,12 +834,18 @@ mod tests {
             .filter(|s| s.at.as_nanos() > 200_000_000)
             .map(|s| s.t_lb)
             .collect();
-        let near = late.iter().filter(|&&s| (900_000..1_100_000).contains(&s)).count();
+        let near = late
+            .iter()
+            .filter(|&&s| (900_000..1_100_000).contains(&s))
+            .count();
         assert!(
             near as f64 > 0.9 * late.len() as f64,
             "only {near}/{} samples near 1 ms",
             late.len()
         );
-        assert_eq!(lb_node.stats.table_rebuilds, 0, "observe mode must not adapt");
+        assert_eq!(
+            lb_node.stats.table_rebuilds, 0,
+            "observe mode must not adapt"
+        );
     }
 }

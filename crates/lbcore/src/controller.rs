@@ -23,7 +23,12 @@ pub trait Controller {
     /// Considers an update at `now` given current `estimates`; mutates
     /// `weights` and returns `true` when it changed them (the dataplane
     /// then rebuilds its Maglev table).
-    fn maybe_update(&mut self, now: Nanos, estimates: &BackendEstimator, weights: &mut Weights) -> bool;
+    fn maybe_update(
+        &mut self,
+        now: Nanos,
+        estimates: &BackendEstimator,
+        weights: &mut Weights,
+    ) -> bool;
 
     /// A short name for tables and figures.
     fn name(&self) -> &'static str;
@@ -49,13 +54,23 @@ pub struct AlphaShift {
 impl AlphaShift {
     /// The paper's parameters: α = 10%, no margin, act on every sample.
     pub fn paper() -> AlphaShift {
-        AlphaShift { alpha: 0.10, margin: 0.0, min_interval: 0, last_action: None }
+        AlphaShift {
+            alpha: 0.10,
+            margin: 0.0,
+            min_interval: 0,
+            last_action: None,
+        }
     }
 
     /// A damped variant used by the default scenarios: 10% shifts, 10%
     /// margin, at most one action per millisecond.
     pub fn damped() -> AlphaShift {
-        AlphaShift { alpha: 0.10, margin: 0.10, min_interval: 1_000_000, last_action: None }
+        AlphaShift {
+            alpha: 0.10,
+            margin: 0.10,
+            min_interval: 1_000_000,
+            last_action: None,
+        }
     }
 
     /// Returns a copy with a different shift fraction α.
@@ -73,15 +88,24 @@ impl AlphaShift {
 }
 
 impl Controller for AlphaShift {
-    fn maybe_update(&mut self, now: Nanos, estimates: &BackendEstimator, weights: &mut Weights) -> bool {
+    fn maybe_update(
+        &mut self,
+        now: Nanos,
+        estimates: &BackendEstimator,
+        weights: &mut Weights,
+    ) -> bool {
         if let Some(last) = self.last_action {
             if now.saturating_sub(last) < self.min_interval {
                 return false;
             }
         }
-        let Some((worst, worst_lat)) = estimates.worst(now) else { return false };
+        let Some((worst, worst_lat)) = estimates.worst(now) else {
+            return false;
+        };
         if self.margin > 0.0 {
-            let Some(best) = estimates.best_other(worst, now) else { return false };
+            let Some(best) = estimates.best_other(worst, now) else {
+                return false;
+            };
             if worst_lat < best * (1.0 + self.margin) {
                 return false;
             }
@@ -137,7 +161,12 @@ impl Default for AimdController {
 }
 
 impl Controller for AimdController {
-    fn maybe_update(&mut self, now: Nanos, estimates: &BackendEstimator, weights: &mut Weights) -> bool {
+    fn maybe_update(
+        &mut self,
+        now: Nanos,
+        estimates: &BackendEstimator,
+        weights: &mut Weights,
+    ) -> bool {
         if let Some(last) = self.last_action {
             if now.saturating_sub(last) < self.min_interval {
                 return false;
@@ -163,8 +192,10 @@ impl Controller for AimdController {
             None => {
                 // Recovery: move every weight a step toward equal share.
                 let current = weights.as_slice().to_vec();
-                let healed: Vec<f64> =
-                    current.iter().map(|&w| w + self.recovery * (equal - w)).collect();
+                let healed: Vec<f64> = current
+                    .iter()
+                    .map(|&w| w + self.recovery * (equal - w))
+                    .collect();
                 let before = weights.clone();
                 weights.set(&healed);
                 weights.max_diff(&before) > 1e-6
@@ -196,12 +227,21 @@ impl ProportionalController {
     /// Inverse-latency weighting recomputed at most every millisecond.
     pub fn new(power: f64) -> ProportionalController {
         assert!(power > 0.0, "power must be positive");
-        ProportionalController { power, min_interval: 1_000_000, last_action: None }
+        ProportionalController {
+            power,
+            min_interval: 1_000_000,
+            last_action: None,
+        }
     }
 }
 
 impl Controller for ProportionalController {
-    fn maybe_update(&mut self, now: Nanos, estimates: &BackendEstimator, weights: &mut Weights) -> bool {
+    fn maybe_update(
+        &mut self,
+        now: Nanos,
+        estimates: &BackendEstimator,
+        weights: &mut Weights,
+    ) -> bool {
         if let Some(last) = self.last_action {
             if now.saturating_sub(last) < self.min_interval {
                 return false;
@@ -254,13 +294,20 @@ mod tests {
         let mut w = Weights::equal(2, 0.01);
         let est = estimates_two(0, MS, 3 * MS);
         assert!(ctl.maybe_update(1, &est, &mut w));
-        assert!((w.get(1) - 0.4).abs() < 1e-9, "worst lost 10%: {}", w.get(1));
+        assert!(
+            (w.get(1) - 0.4).abs() < 1e-9,
+            "worst lost 10%: {}",
+            w.get(1)
+        );
         assert!((w.get(0) - 0.6).abs() < 1e-9);
     }
 
     #[test]
     fn alpha_shift_margin_suppresses_noise() {
-        let mut ctl = AlphaShift { margin: 0.10, ..AlphaShift::paper() };
+        let mut ctl = AlphaShift {
+            margin: 0.10,
+            ..AlphaShift::paper()
+        };
         let mut w = Weights::equal(2, 0.01);
         // 5% latency difference < 10% margin: no action.
         let est = estimates_two(0, 1_000_000, 1_050_000);
@@ -270,11 +317,17 @@ mod tests {
 
     #[test]
     fn alpha_shift_respects_min_interval() {
-        let mut ctl = AlphaShift { min_interval: 10 * MS, ..AlphaShift::paper() };
+        let mut ctl = AlphaShift {
+            min_interval: 10 * MS,
+            ..AlphaShift::paper()
+        };
         let mut w = Weights::equal(2, 0.01);
         let est = estimates_two(0, MS, 3 * MS);
         assert!(ctl.maybe_update(0, &est, &mut w));
-        assert!(!ctl.maybe_update(5 * MS, &est, &mut w), "acted within interval");
+        assert!(
+            !ctl.maybe_update(5 * MS, &est, &mut w),
+            "acted within interval"
+        );
         assert!(ctl.maybe_update(11 * MS, &est, &mut w));
     }
 

@@ -71,12 +71,18 @@ impl EnsembleConfig {
     /// The robust configuration used by the latency-aware LB: paper
     /// timeouts and epoch, flat-head cliff detection.
     pub fn robust() -> EnsembleConfig {
-        EnsembleConfig { rule: CliffRule::FlatHead { rho: 1.5 }, ..EnsembleConfig::default() }
+        EnsembleConfig {
+            rule: CliffRule::FlatHead { rho: 1.5 },
+            ..EnsembleConfig::default()
+        }
     }
 
     /// Validates and returns the number of timeouts k.
     fn validate(&self) -> usize {
-        assert!(self.timeouts.len() >= 2, "ensemble needs at least two timeouts");
+        assert!(
+            self.timeouts.len() >= 2,
+            "ensemble needs at least two timeouts"
+        );
         assert!(self.epoch > 0, "epoch must be positive");
         assert!(
             self.timeouts.windows(2).all(|w| w[0] < w[1]),
@@ -99,7 +105,10 @@ pub struct EnsembleFlowState {
 impl EnsembleFlowState {
     /// Initializes state at the flow's first observed packet.
     pub fn first_packet(now: Nanos, k: usize) -> EnsembleFlowState {
-        EnsembleFlowState { time_last_pkt: now, time_last_batch: vec![now; k] }
+        EnsembleFlowState {
+            time_last_pkt: now,
+            time_last_batch: vec![now; k],
+        }
     }
 }
 
@@ -135,7 +144,11 @@ impl EnsembleTimeout {
     /// the cheapest way to start (it will correct at the first boundary).
     pub fn new(cfg: EnsembleConfig) -> EnsembleTimeout {
         cfg.validate();
-        let algs = cfg.timeouts.iter().map(|&d| FixedTimeout::new(d)).collect::<Vec<_>>();
+        let algs = cfg
+            .timeouts
+            .iter()
+            .map(|&d| FixedTimeout::new(d))
+            .collect::<Vec<_>>();
         let k = algs.len();
         EnsembleTimeout {
             cfg,
@@ -252,7 +265,13 @@ mod tests {
     /// Generates a periodic batched arrival process: batches of
     /// `batch_len` packets spaced `intra` apart, with batch starts every
     /// `period`, from `start` until `end`.
-    fn batched_arrivals(start: Nanos, end: Nanos, period: Nanos, batch_len: u64, intra: Nanos) -> Vec<Nanos> {
+    fn batched_arrivals(
+        start: Nanos,
+        end: Nanos,
+        period: Nanos,
+        batch_len: u64,
+        intra: Nanos,
+    ) -> Vec<Nanos> {
         let mut out = Vec::new();
         let mut t = start;
         while t < end {
@@ -310,8 +329,11 @@ mod tests {
         let samples = feed(&mut ens, &arrivals);
         // Ignore the first epoch (δₑ still defaulted); after convergence
         // samples must equal the 1 ms batch period.
-        let late: Vec<Nanos> =
-            samples.iter().filter(|&&(t, _)| t > 128 * MS).map(|&(_, s)| s).collect();
+        let late: Vec<Nanos> = samples
+            .iter()
+            .filter(|&&(t, _)| t > 128 * MS)
+            .map(|&(_, s)| s)
+            .collect();
         assert!(!late.is_empty());
         let exact = late.iter().filter(|&&s| s == MS).count();
         assert!(
@@ -335,8 +357,11 @@ mod tests {
             .filter(|&&(t, _)| (100 * MS..300 * MS).contains(&t))
             .map(|&(_, s)| s)
             .collect();
-        let late: Vec<Nanos> =
-            samples.iter().filter(|&&(t, _)| t > 450 * MS).map(|&(_, s)| s).collect();
+        let late: Vec<Nanos> = samples
+            .iter()
+            .filter(|&&(t, _)| t > 450 * MS)
+            .map(|&(_, s)| s)
+            .collect();
         let med = |v: &[Nanos]| {
             let mut s = v.to_vec();
             s.sort_unstable();
@@ -344,7 +369,11 @@ mod tests {
         };
         assert!(!early.is_empty() && !late.is_empty());
         assert_eq!(med(&early), 500 * US, "early estimates off");
-        assert_eq!(med(&late), 2 * MS, "late estimates did not track the increase");
+        assert_eq!(
+            med(&late),
+            2 * MS,
+            "late estimates did not track the increase"
+        );
     }
 
     #[test]
@@ -421,7 +450,10 @@ mod tests {
             out
         };
         let run = |rule: CliffRule| {
-            let mut ens = EnsembleTimeout::new(EnsembleConfig { rule, ..EnsembleConfig::default() });
+            let mut ens = EnsembleTimeout::new(EnsembleConfig {
+                rule,
+                ..EnsembleConfig::default()
+            });
             let mut flow = ens.new_flow(arrivals[0]);
             for &t in &arrivals[1..] {
                 let _ = ens.on_packet(&mut flow, t);

@@ -333,7 +333,10 @@ mod tests {
         }
         let now = 5 * MS;
         let count_median = e.backend(0).quantile_over(0.5, now, None).unwrap();
-        assert!(count_median < 200_000.0, "count window should be all-fast: {count_median}");
+        assert!(
+            count_median < 200_000.0,
+            "count window should be all-fast: {count_median}"
+        );
         let horizon_p90 = e.backend(0).quantile_over(0.9, now, Some(10 * MS)).unwrap();
         assert!(
             horizon_p90 >= 2.0 * MS as f64,
@@ -341,7 +344,10 @@ mod tests {
         );
         // A horizon shorter than the data's age excludes the burst.
         let short_p90 = e.backend(0).quantile_over(0.9, now, Some(2 * MS)).unwrap();
-        assert!(short_p90 < 200_000.0, "2 ms horizon should be all-fast: {short_p90}");
+        assert!(
+            short_p90 < 200_000.0,
+            "2 ms horizon should be all-fast: {short_p90}"
+        );
     }
 
     #[test]

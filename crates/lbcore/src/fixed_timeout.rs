@@ -27,7 +27,10 @@ impl FlowTiming {
     /// Initializes state at the flow's first observed packet; the first
     /// packet never yields a sample.
     pub fn first_packet(now: Nanos) -> FlowTiming {
-        FlowTiming { time_last_pkt: now, time_last_batch: now }
+        FlowTiming {
+            time_last_pkt: now,
+            time_last_batch: now,
+        }
     }
 }
 

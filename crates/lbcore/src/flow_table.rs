@@ -7,7 +7,8 @@
 //! only decides *new* flows. Entries expire after an idle timeout, swept
 //! periodically, so the table is bounded by the number of live-ish flows.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::ops::Bound;
 
 use netpkt::FlowKey;
 
@@ -45,11 +46,20 @@ pub struct FlowTableStats {
 }
 
 /// The LB's connection table.
+///
+/// Entries live in a `BTreeMap` so every traversal (capacity probes,
+/// sweeps, per-backend counts) runs in key order: the table's observable
+/// behaviour is a pure function of its contents, independent of hasher
+/// seeds or insertion history (simlint rule D3).
 #[derive(Debug)]
 pub struct FlowTable {
-    entries: HashMap<FlowKey, FlowEntry>,
+    entries: BTreeMap<FlowKey, FlowEntry>,
     idle_timeout: Nanos,
     max_entries: usize,
+    /// Where the next capacity probe resumes (exclusive). Rotating the
+    /// probe window across the key space approximates LRU with a fixed
+    /// per-insert cost instead of always re-probing the smallest keys.
+    probe_cursor: Option<FlowKey>,
     /// Counters.
     pub stats: FlowTableStats,
 }
@@ -69,9 +79,10 @@ impl FlowTable {
         assert!(idle_timeout > 0, "idle timeout must be positive");
         assert!(max_entries > 0, "capacity must be positive");
         FlowTable {
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             idle_timeout,
             max_entries,
+            probe_cursor: None,
             stats: FlowTableStats::default(),
         }
     }
@@ -92,20 +103,15 @@ impl FlowTable {
     }
 
     /// Inserts a new flow pinned to `backend`, evicting if at capacity.
-    pub fn insert(&mut self, key: FlowKey, backend: usize, timing: EnsembleFlowState, now: Nanos) -> &mut FlowEntry {
+    pub fn insert(
+        &mut self,
+        key: FlowKey,
+        backend: usize,
+        timing: EnsembleFlowState,
+        now: Nanos,
+    ) -> &mut FlowEntry {
         if self.entries.len() >= self.max_entries && !self.entries.contains_key(&key) {
-            // Approximate LRU: probe a bounded slice of the (arbitrary but
-            // deterministic) iteration order and drop the stalest.
-            let victim = self
-                .entries
-                .iter()
-                .take(16)
-                .min_by_key(|(_, e)| e.last_seen)
-                .map(|(k, _)| *k);
-            if let Some(v) = victim {
-                self.entries.remove(&v);
-                self.stats.evicted += 1;
-            }
+            self.evict_one();
         }
         self.stats.inserted += 1;
         self.entries.entry(key).or_insert(FlowEntry {
@@ -115,6 +121,44 @@ impl FlowTable {
             last_seen: now,
             packets: 0,
         })
+    }
+
+    /// Evicts the least-recently-seen entry among a bounded, key-ordered
+    /// probe window (approximate LRU, the fixed-cost strategy production
+    /// LB conntracks use). The window starts after the previous probe's
+    /// last key and wraps, so repeated evictions sweep the whole table
+    /// deterministically.
+    fn evict_one(&mut self) {
+        const PROBE: usize = 16;
+        let mut probed: Vec<(FlowKey, Nanos)> = Vec::with_capacity(PROBE);
+        let start = match self.probe_cursor {
+            Some(c) => (Bound::Excluded(c), Bound::Unbounded),
+            None => (Bound::Unbounded, Bound::Unbounded),
+        };
+        for (k, e) in self.entries.range(start).take(PROBE) {
+            probed.push((*k, e.last_seen));
+        }
+        if probed.len() < PROBE {
+            // Wrapped past the largest key: continue from the smallest.
+            let have = probed.len();
+            for (k, e) in self.entries.iter().take(PROBE - have) {
+                if probed.iter().any(|(p, _)| p == k) {
+                    break;
+                }
+                probed.push((*k, e.last_seen));
+            }
+        }
+        // Ties on `last_seen` break on the key, keeping the choice a
+        // pure function of table contents.
+        let victim = probed
+            .iter()
+            .min_by_key(|(k, seen)| (*seen, *k))
+            .map(|(k, _)| *k);
+        if let Some(v) = victim {
+            self.probe_cursor = probed.last().map(|(k, _)| *k);
+            self.entries.remove(&v);
+            self.stats.evicted += 1;
+        }
     }
 
     /// Removes a flow (observed FIN from the client, or RST).
@@ -130,7 +174,8 @@ impl FlowTable {
     pub fn sweep(&mut self, now: Nanos) -> usize {
         let timeout = self.idle_timeout;
         let before = self.entries.len();
-        self.entries.retain(|_, e| now.saturating_sub(e.last_seen) <= timeout);
+        self.entries
+            .retain(|_, e| now.saturating_sub(e.last_seen) <= timeout);
         let removed = before - self.entries.len();
         self.stats.expired += removed as u64;
         removed
@@ -157,7 +202,12 @@ mod tests {
     const MS: Nanos = 1_000_000;
 
     fn key(port: u16) -> FlowKey {
-        FlowKey::new(Ipv4Addr::new(10, 0, 0, 1), port, Ipv4Addr::new(10, 9, 9, 9), 11211)
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, 1),
+            port,
+            Ipv4Addr::new(10, 9, 9, 9),
+            11211,
+        )
     }
 
     fn timing() -> EnsembleFlowState {
@@ -236,6 +286,40 @@ mod tests {
     }
 
     #[test]
+    fn eviction_is_a_pure_function_of_the_op_sequence() {
+        let build = || {
+            let mut t = FlowTable::with_capacity(5_000 * MS, 32);
+            for i in 0..500u64 {
+                // Ports collide and last_seen values repeat, exercising
+                // both the wrap-around probe and the tie-break on key.
+                let port = 1 + (i * 7919 % 301) as u16;
+                t.insert(key(port), (i % 7) as usize, timing(), i % 13);
+            }
+            t
+        };
+        let (a, b) = (build(), build());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.stats.evicted, b.stats.evicted);
+        assert_eq!(a.per_backend_counts(7), b.per_backend_counts(7));
+        let keys_a: Vec<FlowKey> = a.entries.keys().copied().collect();
+        let keys_b: Vec<FlowKey> = b.entries.keys().copied().collect();
+        assert_eq!(keys_a, keys_b, "tables diverged under identical ops");
+    }
+
+    #[test]
+    fn probe_cursor_rotates_across_the_key_space() {
+        let mut t = FlowTable::with_capacity(5_000 * MS, 64);
+        for port in 0..200u16 {
+            t.insert(key(port + 1), 0, timing(), u64::from(port));
+        }
+        // With a rotating 16-entry probe window the evictions must not
+        // all come from the smallest keys: some small-port early keys
+        // survive while later windows evict elsewhere.
+        assert_eq!(t.len(), 64);
+        assert_eq!(t.stats.evicted, 200 - 64);
+    }
+
+    #[test]
     fn reinsert_of_existing_key_does_not_evict() {
         let mut t = FlowTable::with_capacity(5_000 * MS, 2);
         t.insert(key(1), 0, timing(), 0);
@@ -250,6 +334,10 @@ mod tests {
         let mut t = FlowTable::new(5_000 * MS);
         t.insert(key(1), 0, timing(), 0);
         t.insert(key(1), 1, timing(), 50);
-        assert_eq!(t.get_mut(&key(1)).unwrap().backend, 0, "affinity must not change");
+        assert_eq!(
+            t.get_mut(&key(1)).unwrap().backend,
+            0,
+            "affinity must not change"
+        );
     }
 }

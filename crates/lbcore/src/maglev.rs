@@ -61,7 +61,10 @@ impl MaglevTable {
         assert!(n > 0, "at least one backend required");
         assert!(is_prime(size as u64), "table size must be prime");
         assert!(size >= n, "table smaller than backend count");
-        assert!(weights.iter().all(|&w| w >= 0.0 && w.is_finite()), "weights must be >= 0");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0 && w.is_finite()),
+            "weights must be >= 0"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "at least one positive weight required");
 
@@ -145,7 +148,10 @@ impl MaglevTable {
         for &b in &self.table {
             counts[b as usize] += 1;
         }
-        counts.iter().map(|&c| c as f64 / self.table.len() as f64).collect()
+        counts
+            .iter()
+            .map(|&c| c as f64 / self.table.len() as f64)
+            .collect()
     }
 
     /// Number of slots that differ between two same-size tables — the
@@ -153,7 +159,11 @@ impl MaglevTable {
     /// entries.
     pub fn slots_changed(&self, other: &MaglevTable) -> usize {
         assert_eq!(self.len(), other.len(), "tables must be the same size");
-        self.table.iter().zip(&other.table).filter(|(a, b)| a != b).count()
+        self.table
+            .iter()
+            .zip(&other.table)
+            .filter(|(a, b)| a != b)
+            .count()
     }
 }
 

@@ -19,7 +19,10 @@ impl Weights {
             (0.0..1.0).contains(&floor) && floor * n as f64 <= 1.0,
             "floor {floor} infeasible for {n} backends"
         );
-        Weights { w: vec![1.0 / n as f64; n], floor }
+        Weights {
+            w: vec![1.0 / n as f64; n],
+            floor,
+        }
     }
 
     /// Number of backends.
@@ -78,7 +81,10 @@ impl Weights {
     /// among the rest.
     pub fn set(&mut self, new: &[f64]) {
         assert_eq!(new.len(), self.w.len(), "backend count mismatch");
-        assert!(new.iter().all(|&x| x.is_finite() && x >= 0.0), "weights must be finite and >= 0");
+        assert!(
+            new.iter().all(|&x| x.is_finite() && x >= 0.0),
+            "weights must be finite and >= 0"
+        );
         let total: f64 = new.iter().sum();
         assert!(total > 0.0, "at least one positive weight required");
         let raw: Vec<f64> = new.iter().map(|&x| x / total).collect();
@@ -93,8 +99,12 @@ impl Weights {
                 return;
             }
             let mass = 1.0 - pinned_count as f64 * self.floor;
-            let unpinned_sum: f64 =
-                raw.iter().zip(&pinned).filter(|(_, &p)| !p).map(|(x, _)| x).sum();
+            let unpinned_sum: f64 = raw
+                .iter()
+                .zip(&pinned)
+                .filter(|(_, &p)| !p)
+                .map(|(x, _)| x)
+                .sum();
             let mut newly_pinned = false;
             for i in 0..n {
                 if pinned[i] {
@@ -121,7 +131,10 @@ impl Weights {
 
     /// Multiplies one share by `factor` (≥ 0) and renormalizes.
     pub fn scale(&mut self, i: usize, factor: f64) {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be finite and >= 0");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "factor must be finite and >= 0"
+        );
         self.w[i] = (self.w[i] * factor).max(self.floor);
         self.renormalize();
     }
@@ -200,7 +213,11 @@ mod tests {
     fn set_clamps_and_normalizes() {
         let mut w = Weights::equal(3, 0.02);
         w.set(&[10.0, 0.0, 10.0]);
-        assert!((w.get(1) - 0.02).abs() < 1e-12, "pinned to floor: {}", w.get(1));
+        assert!(
+            (w.get(1) - 0.02).abs() < 1e-12,
+            "pinned to floor: {}",
+            w.get(1)
+        );
         assert!((sum(&w) - 1.0).abs() < 1e-9);
         assert!((w.get(0) - 0.49).abs() < 1e-9);
     }

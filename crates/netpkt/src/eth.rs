@@ -102,12 +102,21 @@ mod tests {
     #[test]
     fn truncated_rejected() {
         let err = EthHeader::parse(&[0u8; 13]).unwrap_err();
-        assert!(matches!(err, ParseError::Truncated { needed: 14, available: 13 }));
+        assert!(matches!(
+            err,
+            ParseError::Truncated {
+                needed: 14,
+                available: 13
+            }
+        ));
     }
 
     #[test]
     fn mac_display() {
-        assert_eq!(MacAddr::from_id(0x0102_0304).to_string(), "02:00:01:02:03:04");
+        assert_eq!(
+            MacAddr::from_id(0x0102_0304).to_string(),
+            "02:00:01:02:03:04"
+        );
         assert!(MacAddr::BROADCAST.is_broadcast());
         assert!(!MacAddr::from_id(1).is_broadcast());
     }

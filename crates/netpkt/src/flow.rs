@@ -23,7 +23,12 @@ pub struct FlowKey {
 impl FlowKey {
     /// Builds a key from addresses and ports.
     pub fn new(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> Self {
-        FlowKey { src_ip, dst_ip, src_port, dst_port }
+        FlowKey {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+        }
     }
 
     /// The key for traffic flowing in the opposite direction.
@@ -42,14 +47,23 @@ impl FlowKey {
     pub fn parse(frame: &[u8]) -> Result<FlowKey> {
         let need = ETH_HEADER_LEN + IPV4_HEADER_LEN + 4;
         if frame.len() < need {
-            return Err(ParseError::Truncated { needed: need, available: frame.len() });
+            return Err(ParseError::Truncated {
+                needed: need,
+                available: frame.len(),
+            });
         }
         let ip = &frame[ETH_HEADER_LEN..];
         if ip[0] >> 4 != 4 {
-            return Err(ParseError::Unsupported { field: "ip version", value: (ip[0] >> 4) as u32 });
+            return Err(ParseError::Unsupported {
+                field: "ip version",
+                value: (ip[0] >> 4) as u32,
+            });
         }
         if ip[9] != IPPROTO_TCP {
-            return Err(ParseError::Unsupported { field: "ip protocol", value: ip[9] as u32 });
+            return Err(ParseError::Unsupported {
+                field: "ip protocol",
+                value: ip[9] as u32,
+            });
         }
         let tcp = &ip[IPV4_HEADER_LEN..];
         Ok(FlowKey {
@@ -67,7 +81,10 @@ impl FlowKey {
         let key = Self::parse(frame)?;
         let flags_off = ETH_HEADER_LEN + IPV4_HEADER_LEN + 13;
         if frame.len() <= flags_off {
-            return Err(ParseError::Truncated { needed: flags_off + 1, available: frame.len() });
+            return Err(ParseError::Truncated {
+                needed: flags_off + 1,
+                available: frame.len(),
+            });
         }
         Ok((key, crate::tcp::TcpFlags(frame[flags_off])))
     }
@@ -117,7 +134,12 @@ mod tests {
     use super::*;
 
     fn key(a: u8, pa: u16, b: u8, pb: u16) -> FlowKey {
-        FlowKey::new(Ipv4Addr::new(10, 0, 0, a), pa, Ipv4Addr::new(10, 0, 1, b), pb)
+        FlowKey::new(
+            Ipv4Addr::new(10, 0, 0, a),
+            pa,
+            Ipv4Addr::new(10, 0, 1, b),
+            pb,
+        )
     }
 
     #[test]
@@ -145,6 +167,9 @@ mod tests {
 
     #[test]
     fn display_format() {
-        assert_eq!(key(1, 4000, 2, 80).to_string(), "10.0.0.1:4000 -> 10.0.1.2:80");
+        assert_eq!(
+            key(1, 4000, 2, 80).to_string(),
+            "10.0.0.1:4000 -> 10.0.1.2:80"
+        );
     }
 }

@@ -104,7 +104,10 @@ impl Ipv4Header {
 ///
 /// `buf` must start at the first byte of the IPv4 header.
 pub fn rewrite_checksum(buf: &mut [u8]) {
-    assert!(buf.len() >= IPV4_HEADER_LEN, "buffer shorter than IPv4 header");
+    assert!(
+        buf.len() >= IPV4_HEADER_LEN,
+        "buffer shorter than IPv4 header"
+    );
     buf[10] = 0;
     buf[11] = 0;
     let ck = crate::checksum::checksum(&buf[..IPV4_HEADER_LEN]);
@@ -169,7 +172,10 @@ mod tests {
         bytes[0] = 0x46; // IHL 6 => 24-byte header
         assert!(matches!(
             Ipv4Header::parse(&bytes).unwrap_err(),
-            ParseError::Unsupported { field: "ipv4 options (ihl)", .. }
+            ParseError::Unsupported {
+                field: "ipv4 options (ihl)",
+                ..
+            }
         ));
     }
 
@@ -179,7 +185,10 @@ mod tests {
         bytes[0] = 0x65;
         assert!(matches!(
             Ipv4Header::parse(&bytes).unwrap_err(),
-            ParseError::Unsupported { field: "ip version", value: 6 }
+            ParseError::Unsupported {
+                field: "ip version",
+                value: 6
+            }
         ));
     }
 

@@ -21,6 +21,22 @@ use crate::{ParseError, Result};
 /// Size of the fixed message header.
 pub const KV_HEADER_LEN: usize = 24;
 
+/// Panic-free big-endian u64 read at `at`. Callers pre-check bounds; a
+/// short slice still surfaces as `Truncated` rather than a panic,
+/// because this runs on the per-packet fast path (simlint rule F1).
+fn be_u64(buf: &[u8], at: usize) -> Result<u64> {
+    match buf
+        .get(at..at + 8)
+        .and_then(|s| <[u8; 8]>::try_from(s).ok())
+    {
+        Some(b) => Ok(u64::from_be_bytes(b)),
+        None => Err(ParseError::Truncated {
+            needed: at + 8,
+            available: buf.len(),
+        }),
+    }
+}
+
 /// Magic byte of a request message.
 pub const MAGIC_REQUEST: u8 = 0x80;
 /// Magic byte of a response message.
@@ -47,7 +63,10 @@ impl KvOp {
         match b {
             0 => Ok(KvOp::Get),
             1 => Ok(KvOp::Set),
-            other => Err(ParseError::Unsupported { field: "kv op", value: other as u32 }),
+            other => Err(ParseError::Unsupported {
+                field: "kv op",
+                value: other as u32,
+            }),
         }
     }
 }
@@ -73,7 +92,10 @@ impl KvStatus {
         match b {
             0 => Ok(KvStatus::Ok),
             1 => Ok(KvStatus::Miss),
-            other => Err(ParseError::Unsupported { field: "kv status", value: other as u32 }),
+            other => Err(ParseError::Unsupported {
+                field: "kv status",
+                value: other as u32,
+            }),
         }
     }
 }
@@ -145,7 +167,11 @@ impl KvMessage {
     /// derived from the key so that corruption is detectable in tests.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.encoded_len());
-        buf.put_u8(if self.is_request { MAGIC_REQUEST } else { MAGIC_RESPONSE });
+        buf.put_u8(if self.is_request {
+            MAGIC_REQUEST
+        } else {
+            MAGIC_RESPONSE
+        });
         buf.put_u8(self.op.to_wire());
         buf.put_u8(self.status.to_wire());
         buf.put_u8(0);
@@ -169,7 +195,10 @@ impl KvMessage {
             MAGIC_REQUEST => true,
             MAGIC_RESPONSE => false,
             other => {
-                return Err(ParseError::Unsupported { field: "kv magic", value: other as u32 })
+                return Err(ParseError::Unsupported {
+                    field: "kv magic",
+                    value: other as u32,
+                })
             }
         };
         let body_len = u32::from_be_bytes([buf[20], buf[21], buf[22], buf[23]]);
@@ -181,8 +210,8 @@ impl KvMessage {
             is_request,
             op: KvOp::from_wire(buf[1])?,
             status: KvStatus::from_wire(buf[2])?,
-            request_id: u64::from_be_bytes(buf[4..12].try_into().expect("slice length checked")),
-            key: u64::from_be_bytes(buf[12..20].try_into().expect("slice length checked")),
+            request_id: be_u64(buf, 4)?,
+            key: be_u64(buf, 12)?,
             body_len,
         };
         Ok(Some((msg, total)))

@@ -31,7 +31,7 @@ pub mod udp;
 pub use eth::{EthHeader, MacAddr, ETHERTYPE_IPV4, ETH_HEADER_LEN};
 pub use flow::FlowKey;
 pub use ipv4::{Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
-pub use packet::{Packet, PacketView};
+pub use packet::{Addresses, Packet, PacketView};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, IPPROTO_UDP, UDP_HEADER_LEN};
 
@@ -63,7 +63,10 @@ impl core::fmt::Display for ParseError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             ParseError::Truncated { needed, available } => {
-                write!(f, "truncated packet: needed {needed} bytes, had {available}")
+                write!(
+                    f,
+                    "truncated packet: needed {needed} bytes, had {available}"
+                )
             }
             ParseError::Unsupported { field, value } => {
                 write!(f, "unsupported value {value:#x} for {field}")

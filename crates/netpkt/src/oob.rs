@@ -31,8 +31,8 @@ pub fn parse_report(payload: &[u8]) -> Option<(u32, u64)> {
     if payload.len() != REPORT_LEN || &payload[0..4] != REPORT_MAGIC {
         return None;
     }
-    let backend_id = u32::from_be_bytes(payload[4..8].try_into().expect("length checked"));
-    let latency_ns = u64::from_be_bytes(payload[8..16].try_into().expect("length checked"));
+    let backend_id = u32::from_be_bytes(payload[4..8].try_into().ok()?);
+    let latency_ns = u64::from_be_bytes(payload[8..16].try_into().ok()?);
     Some((backend_id, latency_ns))
 }
 

@@ -7,7 +7,22 @@ use std::net::Ipv4Addr;
 use crate::eth::{EthHeader, MacAddr, ETHERTYPE_IPV4, ETH_HEADER_LEN};
 use crate::ipv4::{Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
 use crate::tcp::{self, TcpFlags, TcpHeader, TCP_HEADER_LEN};
-use crate::Result;
+use crate::{ParseError, Result};
+
+/// L2 + L3 addressing of a frame to build: who sends it, who should
+/// receive it. Groups what would otherwise be four leading positional
+/// arguments on every packet factory.
+#[derive(Debug, Clone, Copy)]
+pub struct Addresses {
+    /// Source MAC.
+    pub src_mac: MacAddr,
+    /// Destination MAC.
+    pub dst_mac: MacAddr,
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+}
 
 /// A packet in flight: real wire bytes (Ethernet + IPv4 + TCP + payload).
 ///
@@ -36,20 +51,27 @@ impl Packet {
     }
 
     /// Builds a full TCP/IPv4 frame.
-    #[allow(clippy::too_many_arguments)]
     pub fn build_tcp(
-        src_mac: MacAddr,
-        dst_mac: MacAddr,
-        src_ip: Ipv4Addr,
-        dst_ip: Ipv4Addr,
+        addrs: Addresses,
         tcp_hdr: &TcpHeader,
         payload: &[u8],
         ttl: u8,
         ident: u16,
     ) -> Packet {
+        let Addresses {
+            src_mac,
+            dst_mac,
+            src_ip,
+            dst_ip,
+        } = addrs;
         let total = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len();
         let mut buf = BytesMut::with_capacity(total);
-        EthHeader { dst: dst_mac, src: src_mac, ethertype: ETHERTYPE_IPV4 }.emit(&mut buf);
+        EthHeader {
+            dst: dst_mac,
+            src: src_mac,
+            ethertype: ETHERTYPE_IPV4,
+        }
+        .emit(&mut buf);
         let ip = Ipv4Header {
             dscp_ecn: 0,
             total_len: (IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len()) as u16,
@@ -65,7 +87,9 @@ impl Packet {
         let mut bytes = buf;
         let tcp_start = ETH_HEADER_LEN + IPV4_HEADER_LEN;
         tcp::fill_checksum(&mut bytes, tcp_start, &ip);
-        Packet { data: bytes.freeze() }
+        Packet {
+            data: bytes.freeze(),
+        }
     }
 
     /// Returns a copy with only the Ethernet addresses rewritten — the
@@ -77,7 +101,9 @@ impl Packet {
         let mut bytes = BytesMut::from(&self.data[..]);
         bytes[0..6].copy_from_slice(&dst_mac.0);
         bytes[6..12].copy_from_slice(&src_mac.0);
-        Packet { data: bytes.freeze() }
+        Packet {
+            data: bytes.freeze(),
+        }
     }
 
     /// Returns a copy of this packet with the IPv4 destination address and
@@ -101,10 +127,17 @@ impl Packet {
         }
         crate::ipv4::rewrite_checksum(&mut bytes[ip_start..]);
         // Repair the TCP checksum (pseudo-header covers the dst address).
-        let ip = Ipv4Header::parse(&bytes[ip_start..]).expect("header was valid before rewrite");
-        let tcp_start = ip_start + IPV4_HEADER_LEN;
-        tcp::fill_checksum(&mut bytes, tcp_start, &ip);
-        Packet { data: bytes.freeze() }
+        // The header was parseable before the rewrite, so this cannot
+        // fail in practice — but on the fast path a malformed frame must
+        // never abort the process, so the unrepaired packet (which the
+        // receiver's checksum verification will drop) is returned instead.
+        if let Ok(ip) = Ipv4Header::parse(&bytes[ip_start..]) {
+            let tcp_start = ip_start + IPV4_HEADER_LEN;
+            tcp::fill_checksum(&mut bytes, tcp_start, &ip);
+        }
+        Packet {
+            data: bytes.freeze(),
+        }
     }
 }
 
@@ -127,13 +160,27 @@ impl PacketView {
         let eth = EthHeader::parse(frame)?;
         let ip_bytes = &frame[ETH_HEADER_LEN..];
         let ip = Ipv4Header::parse(ip_bytes)?;
-        let l4_end = usize::from(ip.total_len);
-        let l4 = &ip_bytes[IPV4_HEADER_LEN..l4_end.min(ip_bytes.len())];
+        // `total_len` comes off the wire: clamp it to the buffer and
+        // reject values smaller than the IPv4 header so a malformed
+        // frame cannot panic the slice below.
+        let l4_end = usize::from(ip.total_len).min(ip_bytes.len());
+        if l4_end < IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated {
+                needed: IPV4_HEADER_LEN,
+                available: l4_end,
+            });
+        }
+        let l4 = &ip_bytes[IPV4_HEADER_LEN..l4_end];
         let tcp = TcpHeader::parse(l4, Some((&ip, l4)))?;
         let payload_off = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
         let payload_len = l4.len() - TCP_HEADER_LEN;
         let payload = Bytes::copy_from_slice(&frame[payload_off..payload_off + payload_len]);
-        Ok(PacketView { eth, ip, tcp, payload })
+        Ok(PacketView {
+            eth,
+            ip,
+            tcp,
+            payload,
+        })
     }
 
     /// The four-tuple of this packet's direction of travel.
@@ -160,10 +207,12 @@ mod tests {
 
     fn build_sample(payload: &[u8]) -> Packet {
         Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 9, 9),
+            Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 9, 9),
+            },
             &TcpHeader {
                 src_port: 50000,
                 dst_port: 11211,
@@ -192,7 +241,10 @@ mod tests {
     #[test]
     fn wire_len_accounts_all_headers() {
         let pkt = build_sample(b"xyz");
-        assert_eq!(pkt.wire_len(), ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + 3);
+        assert_eq!(
+            pkt.wire_len(),
+            ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + 3
+        );
     }
 
     #[test]
@@ -220,7 +272,11 @@ mod tests {
         let view = fwd.view().unwrap(); // checksums still verify
         assert_eq!(view.eth.src, MacAddr::from_id(9));
         assert_eq!(view.eth.dst, MacAddr::from_id(10));
-        assert_eq!(view.ip.dst, Ipv4Addr::new(10, 0, 9, 9), "IP header untouched");
+        assert_eq!(
+            view.ip.dst,
+            Ipv4Addr::new(10, 0, 9, 9),
+            "IP header untouched"
+        );
         assert_eq!(&view.payload[..], b"payload");
     }
 
@@ -230,10 +286,12 @@ mod tests {
         let view = pkt.view().unwrap();
         assert!(!view.is_lifecycle());
         pkt = Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 9, 9),
+            Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 9, 9),
+            },
             &TcpHeader {
                 src_port: 1,
                 dst_port: 2,

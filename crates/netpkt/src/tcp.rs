@@ -227,7 +227,10 @@ mod tests {
     fn truncated_rejected() {
         assert!(matches!(
             TcpHeader::parse(&[0u8; 10], None).unwrap_err(),
-            ParseError::Truncated { needed: 20, available: 10 }
+            ParseError::Truncated {
+                needed: 20,
+                available: 10
+            }
         ));
     }
 }

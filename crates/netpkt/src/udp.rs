@@ -6,11 +6,10 @@
 //! the LB must shrug off cheaply).
 
 use bytes::{BufMut, BytesMut};
-use std::net::Ipv4Addr;
 
-use crate::eth::{EthHeader, MacAddr, ETHERTYPE_IPV4, ETH_HEADER_LEN};
+use crate::eth::{EthHeader, ETHERTYPE_IPV4, ETH_HEADER_LEN};
 use crate::ipv4::{Ipv4Header, IPV4_HEADER_LEN};
-use crate::packet::Packet;
+use crate::packet::{Addresses, Packet};
 use crate::{ParseError, Result};
 
 /// Length of a UDP header, in bytes.
@@ -36,7 +35,10 @@ impl UdpHeader {
     /// RFC 768 and always passes).
     pub fn parse(buf: &[u8], ip: Option<(&Ipv4Header, &[u8])>) -> Result<Self> {
         if buf.len() < UDP_HEADER_LEN {
-            return Err(ParseError::Truncated { needed: UDP_HEADER_LEN, available: buf.len() });
+            return Err(ParseError::Truncated {
+                needed: UDP_HEADER_LEN,
+                available: buf.len(),
+            });
         }
         let wire_checksum = u16::from_be_bytes([buf[6], buf[7]]);
         if wire_checksum != 0 {
@@ -84,46 +86,40 @@ pub fn fill_checksum(buf: &mut [u8], udp_start: usize, ip: &Ipv4Header) {
 /// Builds a full UDP/IPv4 frame carrying `payload_len` zero bytes — the
 /// cross-traffic generator's packet factory (contents are irrelevant;
 /// only wire length matters for congestion).
-#[allow(clippy::too_many_arguments)]
 pub fn build_udp(
-    src_mac: MacAddr,
-    dst_mac: MacAddr,
-    src_ip: Ipv4Addr,
-    dst_ip: Ipv4Addr,
+    addrs: Addresses,
     src_port: u16,
     dst_port: u16,
     payload_len: usize,
     ident: u16,
 ) -> Packet {
-    build_udp_payload(
-        src_mac,
-        dst_mac,
-        src_ip,
-        dst_ip,
-        src_port,
-        dst_port,
-        &vec![0u8; payload_len],
-        ident,
-    )
+    build_udp_payload(addrs, src_port, dst_port, &vec![0u8; payload_len], ident)
 }
 
 /// Builds a full UDP/IPv4 frame carrying `payload` — the general datagram
 /// factory (used by out-of-band reporting agents, among others).
-#[allow(clippy::too_many_arguments)]
 pub fn build_udp_payload(
-    src_mac: MacAddr,
-    dst_mac: MacAddr,
-    src_ip: Ipv4Addr,
-    dst_ip: Ipv4Addr,
+    addrs: Addresses,
     src_port: u16,
     dst_port: u16,
     payload: &[u8],
     ident: u16,
 ) -> Packet {
+    let Addresses {
+        src_mac,
+        dst_mac,
+        src_ip,
+        dst_ip,
+    } = addrs;
     let udp_len = UDP_HEADER_LEN + payload.len();
     let total = ETH_HEADER_LEN + IPV4_HEADER_LEN + udp_len;
     let mut buf = BytesMut::with_capacity(total);
-    EthHeader { dst: dst_mac, src: src_mac, ethertype: ETHERTYPE_IPV4 }.emit(&mut buf);
+    EthHeader {
+        dst: dst_mac,
+        src: src_mac,
+        ethertype: ETHERTYPE_IPV4,
+    }
+    .emit(&mut buf);
     let ip = Ipv4Header {
         dscp_ecn: 0,
         total_len: (IPV4_HEADER_LEN + udp_len) as u16,
@@ -134,7 +130,12 @@ pub fn build_udp_payload(
         dst: dst_ip,
     };
     ip.emit(&mut buf);
-    UdpHeader { src_port, dst_port, length: udp_len as u16 }.emit(&mut buf);
+    UdpHeader {
+        src_port,
+        dst_port,
+        length: udp_len as u16,
+    }
+    .emit(&mut buf);
     buf.extend_from_slice(payload);
     let mut bytes = buf;
     fill_checksum(&mut bytes, ETH_HEADER_LEN + IPV4_HEADER_LEN, &ip);
@@ -146,7 +147,10 @@ pub fn build_udp_payload(
 pub fn parse_udp(frame: &[u8]) -> Result<(Ipv4Header, UdpHeader, &[u8])> {
     let ip = Ipv4Header::parse(frame.get(ETH_HEADER_LEN..).unwrap_or(&[]))?;
     if ip.protocol != IPPROTO_UDP {
-        return Err(ParseError::Unsupported { field: "ip protocol", value: ip.protocol as u32 });
+        return Err(ParseError::Unsupported {
+            field: "ip protocol",
+            value: ip.protocol as u32,
+        });
     }
     let l4_start = ETH_HEADER_LEN + IPV4_HEADER_LEN;
     let l4_end = ETH_HEADER_LEN + usize::from(ip.total_len);
@@ -159,20 +163,27 @@ pub fn parse_udp(frame: &[u8]) -> Result<(Ipv4Header, UdpHeader, &[u8])> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eth::MacAddr;
+    use std::net::Ipv4Addr;
 
     #[test]
     fn roundtrip_with_checksum() {
         let pkt = build_udp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
+            Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            },
             5000,
             6000,
             100,
             7,
         );
-        assert_eq!(pkt.wire_len(), ETH_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + 100);
+        assert_eq!(
+            pkt.wire_len(),
+            ETH_HEADER_LEN + IPV4_HEADER_LEN + UDP_HEADER_LEN + 100
+        );
         let ip = Ipv4Header::parse(&pkt.data[ETH_HEADER_LEN..]).unwrap();
         assert_eq!(ip.protocol, IPPROTO_UDP);
         let l4 = &pkt.data[ETH_HEADER_LEN + IPV4_HEADER_LEN..];
@@ -185,10 +196,12 @@ mod tests {
     #[test]
     fn corruption_detected() {
         let pkt = build_udp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
+            Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            },
             1,
             2,
             16,
@@ -208,10 +221,12 @@ mod tests {
     #[test]
     fn payload_roundtrip_via_parse_udp() {
         let pkt = build_udp_payload(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
+            Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            },
             7000,
             8000,
             b"report-payload",
@@ -226,10 +241,12 @@ mod tests {
     #[test]
     fn parse_udp_rejects_tcp() {
         let tcp = crate::Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
+            Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            },
             &crate::TcpHeader {
                 src_port: 1,
                 dst_port: 2,

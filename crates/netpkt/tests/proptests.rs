@@ -88,10 +88,7 @@ proptest! {
         payload in proptest::collection::vec(any::<u8>(), 0..256),
     ) {
         let pkt = Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
+            netpkt::Addresses { src_mac: MacAddr::from_id(1), dst_mac: MacAddr::from_id(2), src_ip: Ipv4Addr::new(10, 0, 0, 1), dst_ip: Ipv4Addr::new(10, 0, 0, 2) },
             &TcpHeader { src_port, dst_port, seq, ack, flags, window },
             &payload,
             64,
@@ -116,9 +113,11 @@ proptest! {
         flags in arb_flags(),
     ) {
         let pkt = Packet::build_tcp(
-            MacAddr::from_id(1), MacAddr::from_id(2), src, dst,
+            netpkt::Addresses { src_mac: MacAddr::from_id(1), dst_mac: MacAddr::from_id(2), src_ip: src, dst_ip: dst },
             &TcpHeader { src_port: sport, dst_port: dport, seq: 0, ack: 0, flags, window: 1 },
-            b"x", 64, 0,
+            b"x",
+            64,
+            0,
         );
         let (key, fast_flags) = FlowKey::parse_with_flags(&pkt.data).unwrap();
         let view = pkt.view().unwrap();
@@ -135,9 +134,11 @@ proptest! {
         payload in proptest::collection::vec(any::<u8>(), 0..64),
     ) {
         let pkt = Packet::build_tcp(
-            MacAddr::from_id(1), MacAddr::from_id(2), src, dst,
+            netpkt::Addresses { src_mac: MacAddr::from_id(1), dst_mac: MacAddr::from_id(2), src_ip: src, dst_ip: dst },
             &TcpHeader { src_port: 1, dst_port: 2, seq: 3, ack: 4, flags: TcpFlags::ACK, window: 5 },
-            &payload, 64, 9,
+            &payload,
+            64,
+            9,
         );
         let fwd = pkt.with_macs(m1, m2);
         let view = fwd.view().unwrap(); // checksums must verify

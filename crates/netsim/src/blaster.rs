@@ -80,16 +80,25 @@ impl Blaster {
             + cfg.payload) as u64
             * 8;
         let gap = Duration::from_nanos(wire_bits * 1_000_000_000 / cfg.rate_bps);
-        Blaster { cfg, link, gap, ident: 0, sent: 0, on: true }
+        Blaster {
+            cfg,
+            link,
+            gap,
+            ident: 0,
+            sent: 0,
+            on: true,
+        }
     }
 
     fn packet(&mut self) -> Packet {
         self.ident = self.ident.wrapping_add(1);
         build_udp(
-            MacAddr::from_id(0xcc),
-            MacAddr::from_id(0xdd),
-            self.cfg.src_ip,
-            self.cfg.dst_ip,
+            netpkt::Addresses {
+                src_mac: MacAddr::from_id(0xcc),
+                dst_mac: MacAddr::from_id(0xdd),
+                src_ip: self.cfg.src_ip,
+                dst_ip: self.cfg.dst_ip,
+            },
             9,
             9,
             self.cfg.payload,
@@ -119,9 +128,7 @@ impl Node for Blaster {
             None => self.gap,
             Some((on_len, off_len)) => {
                 let cycle = on_len + off_len;
-                let pos = Duration::from_nanos(
-                    ctx.now().as_nanos() % cycle.as_nanos().max(1),
-                );
+                let pos = Duration::from_nanos(ctx.now().as_nanos() % cycle.as_nanos().max(1));
                 if pos < on_len {
                     self.on = true;
                     self.gap
@@ -162,8 +169,20 @@ mod tests {
     fn rig(cfg: BlasterConfig, link_bps: u64) -> (Simulation, crate::node::NodeId) {
         let mut sim = Simulation::new();
         let b = sim.reserve_node("blaster");
-        let s = sim.add_node("sink", Box::new(Sink { got: 0, bytes: 0, first: None, last: None }));
-        let l = sim.add_link(b, s, LinkConfig::new(link_bps, Duration::from_micros(10), 1 << 20));
+        let s = sim.add_node(
+            "sink",
+            Box::new(Sink {
+                got: 0,
+                bytes: 0,
+                first: None,
+                last: None,
+            }),
+        );
+        let l = sim.add_link(
+            b,
+            s,
+            LinkConfig::new(link_bps, Duration::from_micros(10), 1 << 20),
+        );
         sim.install_node(b, Box::new(Blaster::new(cfg, l)));
         (sim, s)
     }
@@ -171,7 +190,10 @@ mod tests {
     #[test]
     fn achieves_configured_rate() {
         let (mut sim, s) = rig(
-            BlasterConfig { rate_bps: 50_000_000, ..BlasterConfig::default() },
+            BlasterConfig {
+                rate_bps: 50_000_000,
+                ..BlasterConfig::default()
+            },
             10_000_000_000,
         );
         sim.run_for(Duration::from_millis(100));
@@ -207,7 +229,10 @@ mod tests {
         // sink sees (almost) line rate and the link reports no drops until
         // the queue cap would be exceeded.
         let (mut sim, s) = rig(
-            BlasterConfig { rate_bps: 90_000_000, ..BlasterConfig::default() },
+            BlasterConfig {
+                rate_bps: 90_000_000,
+                ..BlasterConfig::default()
+            },
             100_000_000,
         );
         sim.run_for(Duration::from_millis(50));
@@ -218,6 +243,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "rate must be positive")]
     fn zero_rate_rejected() {
-        let _ = Blaster::new(BlasterConfig { rate_bps: 0, ..BlasterConfig::default() }, LinkId(0));
+        let _ = Blaster::new(
+            BlasterConfig {
+                rate_bps: 0,
+                ..BlasterConfig::default()
+            },
+            LinkId(0),
+        );
     }
 }

@@ -122,7 +122,10 @@ mod tests {
     use super::*;
 
     fn timer(node: u32, token: u64) -> EventKind {
-        EventKind::Timer { node: NodeId(node), token: TimerToken(token) }
+        EventKind::Timer {
+            node: NodeId(node),
+            token: TimerToken(token),
+        }
     }
 
     #[test]

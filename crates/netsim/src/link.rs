@@ -41,7 +41,11 @@ impl Default for LinkConfig {
 impl LinkConfig {
     /// Convenience constructor.
     pub fn new(rate_bps: u64, prop_delay: Duration, queue_limit_bytes: u64) -> Self {
-        LinkConfig { rate_bps, prop_delay, queue_limit_bytes }
+        LinkConfig {
+            rate_bps,
+            prop_delay,
+            queue_limit_bytes,
+        }
     }
 
     /// Time to serialize `bytes` onto the wire at this link's rate.
@@ -79,7 +83,11 @@ pub struct LinkDir {
 
 impl LinkDir {
     fn new() -> Self {
-        LinkDir { busy_until: Time::ZERO, extra_delay: Duration::ZERO, stats: LinkDirStats::default() }
+        LinkDir {
+            busy_until: Time::ZERO,
+            extra_delay: Duration::ZERO,
+            stats: LinkDirStats::default(),
+        }
     }
 
     /// Bytes currently waiting to be serialized, at instant `now`.
@@ -117,7 +125,13 @@ pub struct Link {
 impl Link {
     /// Creates a link between `a` and `b`.
     pub fn new(a: NodeId, b: NodeId, cfg: LinkConfig) -> Self {
-        Link { a, b, cfg, ab: LinkDir::new(), ba: LinkDir::new() }
+        Link {
+            a,
+            b,
+            cfg,
+            ab: LinkDir::new(),
+            ba: LinkDir::new(),
+        }
     }
 
     /// The node at the far end from `from`.
@@ -227,8 +241,14 @@ mod tests {
         // Queue limit of 1500 bytes: the first packet occupies the "queue"
         // until serialized; the second (1000B, total 2000 > 1500) drops.
         let mut link = mk(1_000_000, 0, 1500);
-        assert!(matches!(link.transmit(NodeId(0), 1000, Time::ZERO), TxOutcome::DeliverAt(_)));
-        assert!(matches!(link.transmit(NodeId(0), 1000, Time::ZERO), TxOutcome::Dropped));
+        assert!(matches!(
+            link.transmit(NodeId(0), 1000, Time::ZERO),
+            TxOutcome::DeliverAt(_)
+        ));
+        assert!(matches!(
+            link.transmit(NodeId(0), 1000, Time::ZERO),
+            TxOutcome::Dropped
+        ));
         assert_eq!(link.dir(NodeId(0)).stats.packets_dropped, 1);
         assert_eq!(link.dir(NodeId(0)).stats.packets_sent, 1);
     }
@@ -240,7 +260,10 @@ mod tests {
         // At t = 8ms the queue has fully drained; a new packet is accepted.
         let now = Time::from_nanos(8_000_000);
         assert_eq!(link.dir(NodeId(0)).queued_bytes(now, &link.cfg), 0);
-        assert!(matches!(link.transmit(NodeId(0), 1000, now), TxOutcome::DeliverAt(_)));
+        assert!(matches!(
+            link.transmit(NodeId(0), 1000, now),
+            TxOutcome::DeliverAt(_)
+        ));
     }
 
     #[test]

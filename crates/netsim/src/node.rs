@@ -75,11 +75,20 @@ impl Ctx<'_> {
         let peer = l.peer_of(self.node);
         match l.transmit(self.node, pkt.wire_len(), self.now) {
             TxOutcome::DeliverAt(at) => {
-                self.trace.record(self.now, self.node, TraceKind::Send, link, &pkt);
-                self.queue.push(at, EventKind::Deliver { node: peer, link, pkt });
+                self.trace
+                    .record(self.now, self.node, TraceKind::Send, link, &pkt);
+                self.queue.push(
+                    at,
+                    EventKind::Deliver {
+                        node: peer,
+                        link,
+                        pkt,
+                    },
+                );
             }
             TxOutcome::Dropped => {
-                self.trace.record(self.now, self.node, TraceKind::Drop, link, &pkt);
+                self.trace
+                    .record(self.now, self.node, TraceKind::Drop, link, &pkt);
             }
         }
     }
@@ -87,14 +96,25 @@ impl Ctx<'_> {
     /// Arms a timer that fires `after` from now, delivering `token` to
     /// [`Node::on_timer`].
     pub fn arm_timer(&mut self, after: Duration, token: TimerToken) {
-        self.queue
-            .push(self.now + after, EventKind::Timer { node: self.node, token });
+        self.queue.push(
+            self.now + after,
+            EventKind::Timer {
+                node: self.node,
+                token,
+            },
+        );
     }
 
     /// Arms a timer at an absolute instant (must not be in the past).
     pub fn arm_timer_at(&mut self, at: Time, token: TimerToken) {
         debug_assert!(at >= self.now, "timer armed in the past");
-        self.queue.push(at, EventKind::Timer { node: self.node, token });
+        self.queue.push(
+            at,
+            EventKind::Timer {
+                node: self.node,
+                token,
+            },
+        );
     }
 
     /// Current additional injected delay on `link` in the direction away

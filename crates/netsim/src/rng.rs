@@ -1,24 +1,161 @@
 //! Deterministic randomness: every stochastic component derives its own
 //! stream from a root seed and a label, so adding a component never
 //! perturbs the random draws of existing ones.
-
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+//!
+//! [`SimRng`] is the **only** sanctioned randomness source in the
+//! simulation crates (simlint rule D2): it is seeded explicitly, pure
+//! `std`, and its stream depends on nothing but the seed — never on
+//! wall-clock time, thread identity, or process entropy. The generator
+//! is xoshiro256++ with splitmix64 seed expansion.
 
 use netpkt::flow::splitmix64;
+
+/// A deterministic, explicitly-seeded pseudo-random number generator
+/// (xoshiro256++).
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        // Standard splitmix64 state expansion; guards against the
+        // all-zero state xoshiro cannot leave.
+        let mut x = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            *w = splitmix64(x);
+        }
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        SimRng { s }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Draws a uniformly distributed value of a primitive type.
+    pub fn gen<T: StandardDist>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range, e.g. `0..n`, `0..=span`,
+    /// or `0.0..1.0`.
+    ///
+    /// # Panics
+    /// Panics on an empty range.
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+/// Types [`SimRng::gen`] can draw uniformly over their whole range
+/// (floats: uniform in `[0, 1)`).
+pub trait StandardDist {
+    /// Draws one value.
+    fn sample(rng: &mut SimRng) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardDist for $t {
+            fn sample(rng: &mut SimRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardDist for bool {
+    fn sample(rng: &mut SimRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardDist for f64 {
+    fn sample(rng: &mut SimRng) -> f64 {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardDist for f32 {
+    fn sample(rng: &mut SimRng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges [`SimRng::gen_range`] can sample from.
+pub trait UniformRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut SimRng) -> Self::Output;
+}
+
+macro_rules! uniform_uint_range {
+    ($($t:ty),*) => {$(
+        impl UniformRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl UniformRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as u128) - (lo as u128) + 1;
+                lo + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+uniform_uint_range!(u8, u16, u32, u64, usize);
+
+impl UniformRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.gen::<f64>() * (self.end - self.start)
+    }
+}
 
 /// Derives a component RNG from a root seed and a textual label.
 ///
 /// The label is folded with FNV-1a and then mixed with the root seed through
 /// splitmix64, giving independent, reproducible streams per component.
-pub fn component_rng(root_seed: u64, label: &str) -> StdRng {
+pub fn component_rng(root_seed: u64, label: &str) -> SimRng {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in label.as_bytes() {
         h ^= u64::from(*b);
         h = h.wrapping_mul(0x1000_0000_01b3);
     }
     let seed = splitmix64(root_seed ^ h);
-    StdRng::seed_from_u64(seed)
+    SimRng::seed_from_u64(seed)
 }
 
 /// Derives a sub-seed (not an RNG) for handing to nested components.
@@ -29,7 +166,6 @@ pub fn derive_seed(root_seed: u64, index: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_label_same_stream() {
@@ -63,5 +199,33 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), seeds.len());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut r = SimRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = r.gen_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = r.gen_range(5u64..=5);
+            assert_eq!(w, 5);
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SimRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((hits as f64 / 10_000.0 - 0.3).abs() < 0.02, "hits {hits}");
+    }
+
+    #[test]
+    fn float_samples_are_uniformish() {
+        let mut r = SimRng::seed_from_u64(13);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 }

@@ -13,7 +13,7 @@
 //! updates model LB churn ("LB 0 died at t = 30 s"), the §2.5 failover
 //! concern.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use netpkt::{FlowKey, Packet, ETH_HEADER_LEN};
@@ -37,7 +37,10 @@ pub struct RouterStats {
 
 /// An exact-match (/32) IPv4 router with ECMP.
 pub struct Router {
-    routes: HashMap<Ipv4Addr, Vec<LinkId>>,
+    /// Keyed by destination in a `BTreeMap` so any future traversal
+    /// (debug dumps, route diffing) is address-ordered, never
+    /// hasher-ordered (simlint rule D3).
+    routes: BTreeMap<Ipv4Addr, Vec<LinkId>>,
     default_route: Option<LinkId>,
     /// Scripted updates: `(when, destination, new egress set)`. An empty
     /// egress set deletes the route.
@@ -50,7 +53,7 @@ impl Router {
     /// Creates a router with no routes.
     pub fn new() -> Self {
         Router {
-            routes: HashMap::new(),
+            routes: BTreeMap::new(),
             default_route: None,
             schedule: Vec::new(),
             stats: RouterStats::default(),
@@ -164,11 +167,20 @@ mod tests {
 
     fn pkt_from_to(src_port: u16, dst: Ipv4Addr) -> Packet {
         Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            dst,
-            &TcpHeader { src_port, dst_port: 2, seq: 0, ack: 0, flags: TcpFlags::ACK, window: 1 },
+            netpkt::Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: dst,
+            },
+            &TcpHeader {
+                src_port,
+                dst_port: 2,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                window: 1,
+            },
             b"",
             64,
             0,
@@ -251,7 +263,10 @@ mod tests {
             src,
             Box::new(Injector {
                 link: l_src,
-                packets: vec![(Duration::from_micros(1), pkt_from_to(1, Ipv4Addr::new(1, 2, 3, 4)))],
+                packets: vec![(
+                    Duration::from_micros(1),
+                    pkt_from_to(1, Ipv4Addr::new(1, 2, 3, 4)),
+                )],
             }),
         );
         sim.run_to_completion();
@@ -289,7 +304,13 @@ mod tests {
             packets.push((Duration::from_micros(1), pkt_from_to(1000 + port, vip)));
             packets.push((Duration::from_micros(500), pkt_from_to(1000 + port, vip)));
         }
-        sim.install_node(src, Box::new(Injector { link: l_src, packets }));
+        sim.install_node(
+            src,
+            Box::new(Injector {
+                link: l_src,
+                packets,
+            }),
+        );
         sim.run_to_completion();
         let a = sim.node_ref::<Counter>(lb_a).unwrap().got;
         let b = sim.node_ref::<Counter>(lb_b).unwrap().got;
@@ -323,7 +344,13 @@ mod tests {
             packets.push((Duration::from_micros(10), pkt_from_to(2000 + port, vip)));
             packets.push((Duration::from_millis(2), pkt_from_to(2000 + port, vip)));
         }
-        sim.install_node(src, Box::new(Injector { link: l_src, packets }));
+        sim.install_node(
+            src,
+            Box::new(Injector {
+                link: l_src,
+                packets,
+            }),
+        );
         sim.run_to_completion();
         let a = sim.node_ref::<Counter>(lb_a).unwrap().got;
         let b = sim.node_ref::<Counter>(lb_b).unwrap().got;

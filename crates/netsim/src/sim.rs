@@ -137,7 +137,11 @@ impl Simulation {
         };
         self.queue.push(
             at,
-            EventKind::SetLinkExtraDelay { link, a_to_b, extra_nanos: extra.as_nanos() },
+            EventKind::SetLinkExtraDelay {
+                link,
+                a_to_b,
+                extra_nanos: extra.as_nanos(),
+            },
         );
     }
 
@@ -173,9 +177,12 @@ impl Simulation {
     /// Temporarily removes the node from its slot so the callback can borrow
     /// both the node and the rest of the simulation mutably.
     fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn Node, &mut Ctx<'_>)) {
-        let mut node = self.nodes[id.0 as usize]
-            .take()
-            .unwrap_or_else(|| panic!("node {} ({}) not installed", id, self.node_names[id.0 as usize]));
+        let mut node = self.nodes[id.0 as usize].take().unwrap_or_else(|| {
+            panic!(
+                "node {} ({}) not installed",
+                id, self.node_names[id.0 as usize]
+            )
+        });
         let mut ctx = Ctx {
             now: self.now,
             node: id,
@@ -212,14 +219,19 @@ impl Simulation {
             match ev.kind {
                 EventKind::Deliver { node, link, pkt } => {
                     self.stats.packets_delivered += 1;
-                    self.trace.record(self.now, node, TraceKind::Deliver, link, &pkt);
+                    self.trace
+                        .record(self.now, node, TraceKind::Deliver, link, &pkt);
                     self.with_node(node, |n, ctx| n.on_packet(ctx, link, pkt));
                 }
                 EventKind::Timer { node, token } => {
                     self.stats.timers_fired += 1;
                     self.with_node(node, |n, ctx| n.on_timer(ctx, token));
                 }
-                EventKind::SetLinkExtraDelay { link, a_to_b, extra_nanos } => {
+                EventKind::SetLinkExtraDelay {
+                    link,
+                    a_to_b,
+                    extra_nanos,
+                } => {
                     let l = &mut self.links[link.0 as usize];
                     let dir = if a_to_b { &mut l.ab } else { &mut l.ba };
                     dir.extra_delay = Duration::from_nanos(extra_nanos);
@@ -253,10 +265,12 @@ mod tests {
 
     fn test_packet(len_payload: usize) -> Packet {
         Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
+            netpkt::Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            },
             &TcpHeader {
                 src_port: 1000,
                 dst_port: 2000,
@@ -280,7 +294,11 @@ mod tests {
 
     impl Pinger {
         fn new(count: usize) -> Self {
-            Pinger { link: None, count, received_at: Vec::new() }
+            Pinger {
+                link: None,
+                count,
+                received_at: Vec::new(),
+            }
         }
     }
 
@@ -325,7 +343,11 @@ mod tests {
         let mut sim = Simulation::new();
         let a = sim.reserve_node("a");
         let b = sim.add_node("b", Box::new(Pinger::new(0)));
-        let link = sim.add_link(a, b, LinkConfig::new(1_000_000_000, Duration::from_micros(50), 1 << 20));
+        let link = sim.add_link(
+            a,
+            b,
+            LinkConfig::new(1_000_000_000, Duration::from_micros(50), 1 << 20),
+        );
         let mut p = Pinger::new(3);
         p.link = Some(link);
         sim.install_node(a, Box::new(p));
@@ -345,12 +367,19 @@ mod tests {
         let mut sim = Simulation::new();
         let t = sim.add_node(
             "ticker",
-            Box::new(Ticker { period: Duration::from_millis(10), remaining: 4, fired_at: Vec::new() }),
+            Box::new(Ticker {
+                period: Duration::from_millis(10),
+                remaining: 4,
+                fired_at: Vec::new(),
+            }),
         );
         sim.run_to_completion();
         let ticker = sim.node_ref::<Ticker>(t).unwrap();
         let at: Vec<u64> = ticker.fired_at.iter().map(|t| t.as_nanos()).collect();
-        assert_eq!(at, vec![10_000_000, 20_000_000, 30_000_000, 40_000_000, 50_000_000]);
+        assert_eq!(
+            at,
+            vec![10_000_000, 20_000_000, 30_000_000, 40_000_000, 50_000_000]
+        );
         assert_eq!(sim.stats().timers_fired, 5);
     }
 
@@ -359,7 +388,11 @@ mod tests {
         let mut sim = Simulation::new();
         let t = sim.add_node(
             "ticker",
-            Box::new(Ticker { period: Duration::from_millis(10), remaining: 100, fired_at: Vec::new() }),
+            Box::new(Ticker {
+                period: Duration::from_millis(10),
+                remaining: 100,
+                fired_at: Vec::new(),
+            }),
         );
         sim.run_until(Time::from_nanos(35_000_000));
         assert_eq!(sim.now(), Time::from_nanos(35_000_000));
@@ -374,7 +407,11 @@ mod tests {
         let mut sim = Simulation::new();
         let a = sim.reserve_node("a");
         let b = sim.add_node("b", Box::new(Pinger::new(0)));
-        let link = sim.add_link(a, b, LinkConfig::new(1_000_000_000, Duration::ZERO, 1 << 20));
+        let link = sim.add_link(
+            a,
+            b,
+            LinkConfig::new(1_000_000_000, Duration::ZERO, 1 << 20),
+        );
         let mut p = Pinger::new(0);
         p.link = Some(link);
         sim.install_node(a, Box::new(p));
@@ -411,7 +448,11 @@ mod tests {
         let mut sim = Simulation::new();
         sim.add_node(
             "ticker",
-            Box::new(Ticker { period: Duration::from_nanos(1), remaining: u32::MAX, fired_at: Vec::new() }),
+            Box::new(Ticker {
+                period: Duration::from_nanos(1),
+                remaining: u32::MAX,
+                fired_at: Vec::new(),
+            }),
         );
         sim.max_events = 1000;
         sim.run_to_completion();

@@ -78,7 +78,10 @@ impl Duration {
     /// From fractional seconds (for configuration convenience; rounds to
     /// the nearest nanosecond).
     pub fn from_secs_f64(s: f64) -> Duration {
-        assert!(s >= 0.0 && s.is_finite(), "duration must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "duration must be finite and non-negative"
+        );
         Duration((s * 1e9).round() as u64)
     }
 
@@ -191,15 +194,24 @@ mod tests {
         let t = Time::from_nanos(1_000) + Duration::from_nanos(500);
         assert_eq!(t.as_nanos(), 1_500);
         assert_eq!(t.saturating_since(Time::from_nanos(400)).as_nanos(), 1_100);
-        assert_eq!(Time::from_nanos(5).saturating_since(Time::from_nanos(10)), Duration::ZERO);
-        assert_eq!(Time::from_nanos(5).checked_since(Time::from_nanos(10)), None);
+        assert_eq!(
+            Time::from_nanos(5).saturating_since(Time::from_nanos(10)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Time::from_nanos(5).checked_since(Time::from_nanos(10)),
+            None
+        );
     }
 
     #[test]
     fn saturation_at_extremes() {
         assert_eq!(Time::MAX + Duration::from_secs(1), Time::MAX);
         assert_eq!(Duration::MAX + Duration::from_secs(1), Duration::MAX);
-        assert_eq!(Duration::from_secs(1).saturating_mul(u64::MAX), Duration::MAX);
+        assert_eq!(
+            Duration::from_secs(1).saturating_mul(u64::MAX),
+            Duration::MAX
+        );
     }
 
     #[test]

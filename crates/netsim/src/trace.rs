@@ -96,7 +96,14 @@ impl Trace {
         self.enabled
     }
 
-    pub(crate) fn record(&mut self, at: Time, node: NodeId, kind: TraceKind, link: LinkId, pkt: &Packet) {
+    pub(crate) fn record(
+        &mut self,
+        at: Time,
+        node: NodeId,
+        kind: TraceKind,
+        link: LinkId,
+        pkt: &Packet,
+    ) {
         if !self.enabled {
             return;
         }
@@ -177,11 +184,20 @@ mod tests {
 
     fn pkt(payload: &[u8]) -> Packet {
         Packet::build_tcp(
-            MacAddr::from_id(1),
-            MacAddr::from_id(2),
-            Ipv4Addr::new(10, 0, 0, 1),
-            Ipv4Addr::new(10, 0, 0, 2),
-            &TcpHeader { src_port: 1, dst_port: 2, seq: 0, ack: 0, flags: TcpFlags::ACK, window: 1 },
+            netpkt::Addresses {
+                src_mac: MacAddr::from_id(1),
+                dst_mac: MacAddr::from_id(2),
+                src_ip: Ipv4Addr::new(10, 0, 0, 1),
+                dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            },
+            &TcpHeader {
+                src_port: 1,
+                dst_port: 2,
+                seq: 0,
+                ack: 0,
+                flags: TcpFlags::ACK,
+                window: 1,
+            },
             payload,
             64,
             0,
@@ -191,7 +207,13 @@ mod tests {
     #[test]
     fn disabled_trace_records_nothing() {
         let mut t = Trace::new();
-        t.record(Time::ZERO, NodeId(0), TraceKind::Send, LinkId(0), &pkt(b"x"));
+        t.record(
+            Time::ZERO,
+            NodeId(0),
+            TraceKind::Send,
+            LinkId(0),
+            &pkt(b"x"),
+        );
         assert!(t.events().is_empty());
         assert!(!t.is_enabled());
     }
@@ -201,7 +223,13 @@ mod tests {
         let mut t = Trace::new();
         t.enable(2);
         for _ in 0..5 {
-            t.record(Time::ZERO, NodeId(0), TraceKind::Send, LinkId(0), &pkt(b"x"));
+            t.record(
+                Time::ZERO,
+                NodeId(0),
+                TraceKind::Send,
+                LinkId(0),
+                &pkt(b"x"),
+            );
         }
         assert_eq!(t.events().len(), 2);
         assert_eq!(t.truncated, 3);
@@ -214,12 +242,24 @@ mod tests {
     fn bytes_only_kept_when_asked() {
         let mut t = Trace::new();
         t.enable(16);
-        t.record(Time::ZERO, NodeId(0), TraceKind::Send, LinkId(0), &pkt(b"x"));
+        t.record(
+            Time::ZERO,
+            NodeId(0),
+            TraceKind::Send,
+            LinkId(0),
+            &pkt(b"x"),
+        );
         assert!(t.events()[0].data.is_none());
 
         let mut t = Trace::new();
         t.enable_with_bytes(16);
-        t.record(Time::ZERO, NodeId(0), TraceKind::Send, LinkId(0), &pkt(b"x"));
+        t.record(
+            Time::ZERO,
+            NodeId(0),
+            TraceKind::Send,
+            LinkId(0),
+            &pkt(b"x"),
+        );
         assert!(t.events()[0].data.is_some());
     }
 
@@ -229,8 +269,20 @@ mod tests {
         t.enable_with_bytes(16);
         let p1 = pkt(b"hello");
         let p2 = pkt(b"world!");
-        t.record(Time::from_nanos(1_500_000_000), NodeId(0), TraceKind::Send, LinkId(0), &p1);
-        t.record(Time::from_nanos(2_000_001_000), NodeId(1), TraceKind::Deliver, LinkId(0), &p2);
+        t.record(
+            Time::from_nanos(1_500_000_000),
+            NodeId(0),
+            TraceKind::Send,
+            LinkId(0),
+            &p1,
+        );
+        t.record(
+            Time::from_nanos(2_000_001_000),
+            NodeId(1),
+            TraceKind::Deliver,
+            LinkId(0),
+            &p2,
+        );
 
         let mut out = Vec::new();
         let n = t.write_pcap(&mut out, |_| true).unwrap();
@@ -238,7 +290,7 @@ mod tests {
         // Global header.
         assert_eq!(&out[0..4], &0xa1b2_c3d4u32.to_le_bytes());
         assert_eq!(u32::from_le_bytes(out[20..24].try_into().unwrap()), 1); // Ethernet
-        // First record header: ts 1.5 s, lengths match the frame.
+                                                                            // First record header: ts 1.5 s, lengths match the frame.
         let rec = &out[24..];
         assert_eq!(u32::from_le_bytes(rec[0..4].try_into().unwrap()), 1);
         assert_eq!(u32::from_le_bytes(rec[4..8].try_into().unwrap()), 500_000);
@@ -254,8 +306,20 @@ mod tests {
     fn pcap_filter_selects_subset() {
         let mut t = Trace::new();
         t.enable_with_bytes(16);
-        t.record(Time::ZERO, NodeId(0), TraceKind::Send, LinkId(0), &pkt(b"a"));
-        t.record(Time::ZERO, NodeId(1), TraceKind::Deliver, LinkId(0), &pkt(b"b"));
+        t.record(
+            Time::ZERO,
+            NodeId(0),
+            TraceKind::Send,
+            LinkId(0),
+            &pkt(b"a"),
+        );
+        t.record(
+            Time::ZERO,
+            NodeId(1),
+            TraceKind::Deliver,
+            LinkId(0),
+            &pkt(b"b"),
+        );
         let mut out = Vec::new();
         let n = t.write_pcap(&mut out, |e| e.node == NodeId(1)).unwrap();
         assert_eq!(n, 1);
@@ -265,8 +329,20 @@ mod tests {
     fn filter_helper_works() {
         let mut t = Trace::new();
         t.enable(16);
-        t.record(Time::ZERO, NodeId(0), TraceKind::Send, LinkId(0), &pkt(b"a"));
-        t.record(Time::ZERO, NodeId(0), TraceKind::Drop, LinkId(0), &pkt(b"b"));
+        t.record(
+            Time::ZERO,
+            NodeId(0),
+            TraceKind::Send,
+            LinkId(0),
+            &pkt(b"a"),
+        );
+        t.record(
+            Time::ZERO,
+            NodeId(0),
+            TraceKind::Drop,
+            LinkId(0),
+            &pkt(b"b"),
+        );
         assert_eq!(t.filter(|e| e.kind == TraceKind::Drop).count(), 1);
     }
 }

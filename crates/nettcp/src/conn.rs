@@ -198,7 +198,12 @@ impl Conn {
         let mut c = Conn::new_common(local, remote, cfg, iss, ConnState::SynRcvd);
         c.irs = peer_syn_seq;
         c.rcv_nxt = peer_syn_seq.wrapping_add(1);
-        c.emit(c.iss, c.rcv_nxt, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
+        c.emit(
+            c.iss,
+            c.rcv_nxt,
+            TcpFlags::SYN | TcpFlags::ACK,
+            Bytes::new(),
+        );
         c.snd_nxt = iss.wrapping_add(1);
         c.arm_rto(now);
         c
@@ -418,7 +423,12 @@ impl Conn {
     fn on_segment_syn_rcvd(&mut self, now: Time, hdr: &TcpHeader) {
         if hdr.flags.contains(TcpFlags::SYN) && !hdr.flags.contains(TcpFlags::ACK) {
             // Duplicate SYN (our SYN-ACK was lost): re-send the SYN-ACK.
-            self.emit(self.iss, self.rcv_nxt, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
+            self.emit(
+                self.iss,
+                self.rcv_nxt,
+                TcpFlags::SYN | TcpFlags::ACK,
+                Bytes::new(),
+            );
             return;
         }
         if hdr.flags.contains(TcpFlags::ACK) && hdr.ack == self.iss.wrapping_add(1) {
@@ -550,11 +560,7 @@ impl Conn {
     fn drain_ooo(&mut self) {
         loop {
             // Find a buffered segment that starts at or before rcv_nxt.
-            let key = self
-                .ooo
-                .keys()
-                .copied()
-                .find(|&s| seq_le(s, self.rcv_nxt));
+            let key = self.ooo.keys().copied().find(|&s| seq_le(s, self.rcv_nxt));
             let Some(seq) = key else { break };
             let data = self.ooo.remove(&seq).expect("key from iteration");
             let end = seq.wrapping_add(data.len() as u32);
@@ -576,14 +582,17 @@ impl Conn {
                     self.stats.acks_delayed += 1;
                     self.send_ack();
                 } else {
-                    self.timer_reqs.push(TimerRequest::Arm(TimerKind::DelAck, now + max_delay));
+                    self.timer_reqs
+                        .push(TimerRequest::Arm(TimerKind::DelAck, now + max_delay));
                 }
             }
         }
     }
 
     fn maybe_process_fin(&mut self, now: Time) {
-        let Some(fin_seq) = self.peer_fin_seq else { return };
+        let Some(fin_seq) = self.peer_fin_seq else {
+            return;
+        };
         if self.rcv_nxt != fin_seq {
             return; // data before the FIN still missing
         }
@@ -624,7 +633,8 @@ impl Conn {
             let already_announced = matches!(self.state, ConnState::LastAck);
             self.state = ConnState::Closed;
             self.timer_reqs.push(TimerRequest::Cancel(TimerKind::Rto));
-            self.timer_reqs.push(TimerRequest::Cancel(TimerKind::DelAck));
+            self.timer_reqs
+                .push(TimerRequest::Cancel(TimerKind::DelAck));
             self.timer_reqs.push(TimerRequest::Cancel(TimerKind::Pace));
             if !already_announced {
                 self.events.push(ConnEvent::Closed);
@@ -638,7 +648,10 @@ impl Conn {
     fn try_transmit(&mut self, now: Time) {
         if !matches!(
             self.state,
-            ConnState::Established | ConnState::CloseWait | ConnState::FinWait1 | ConnState::LastAck
+            ConnState::Established
+                | ConnState::CloseWait
+                | ConnState::FinWait1
+                | ConnState::LastAck
         ) {
             // Handshake in progress: data waits in snd_buf. FIN states where
             // everything is already out need no action either.
@@ -659,7 +672,8 @@ impl Conn {
             }
             if let Pacing::Enabled { min_gap } = self.cfg.pacing {
                 if now < self.next_pace_at {
-                    self.timer_reqs.push(TimerRequest::Arm(TimerKind::Pace, self.next_pace_at));
+                    self.timer_reqs
+                        .push(TimerRequest::Arm(TimerKind::Pace, self.next_pace_at));
                     break;
                 }
                 self.next_pace_at = now + min_gap;
@@ -703,7 +717,12 @@ impl Conn {
         let seq = self.snd_nxt;
         self.fin_seq = Some(seq);
         self.snd_nxt = self.snd_nxt.wrapping_add(1);
-        self.emit(seq, self.rcv_nxt, TcpFlags::FIN | TcpFlags::ACK, Bytes::new());
+        self.emit(
+            seq,
+            self.rcv_nxt,
+            TcpFlags::FIN | TcpFlags::ACK,
+            Bytes::new(),
+        );
         self.state = match self.state {
             ConnState::Established => ConnState::FinWait1,
             ConnState::CloseWait => ConnState::LastAck,
@@ -721,7 +740,12 @@ impl Conn {
                 return;
             }
             ConnState::SynRcvd => {
-                self.emit(self.iss, self.rcv_nxt, TcpFlags::SYN | TcpFlags::ACK, Bytes::new());
+                self.emit(
+                    self.iss,
+                    self.rcv_nxt,
+                    TcpFlags::SYN | TcpFlags::ACK,
+                    Bytes::new(),
+                );
                 self.stats.retransmits += 1;
                 return;
             }
@@ -733,11 +757,21 @@ impl Conn {
             let take = self.cfg.mss.min(outstanding_data);
             let chunk: Vec<u8> = self.retx_buf.iter().take(take).copied().collect();
             self.stats.retransmits += 1;
-            self.emit(self.snd_una, self.rcv_nxt, TcpFlags::ACK | TcpFlags::PSH, Bytes::from(chunk));
+            self.emit(
+                self.snd_una,
+                self.rcv_nxt,
+                TcpFlags::ACK | TcpFlags::PSH,
+                Bytes::from(chunk),
+            );
         } else if let Some(fin_seq) = self.fin_seq {
             if seq_le(self.snd_una, fin_seq) {
                 self.stats.retransmits += 1;
-                self.emit(fin_seq, self.rcv_nxt, TcpFlags::FIN | TcpFlags::ACK, Bytes::new());
+                self.emit(
+                    fin_seq,
+                    self.rcv_nxt,
+                    TcpFlags::FIN | TcpFlags::ACK,
+                    Bytes::new(),
+                );
             }
         }
         let _ = now;
@@ -754,7 +788,8 @@ impl Conn {
     fn flush_delack_state(&mut self) {
         if self.delack_held > 0 {
             self.delack_held = 0;
-            self.timer_reqs.push(TimerRequest::Cancel(TimerKind::DelAck));
+            self.timer_reqs
+                .push(TimerRequest::Cancel(TimerKind::DelAck));
         }
     }
 
@@ -769,7 +804,8 @@ impl Conn {
     }
 
     fn arm_rto(&mut self, now: Time) {
-        self.timer_reqs.push(TimerRequest::Arm(TimerKind::Rto, now + self.rtt.rto()));
+        self.timer_reqs
+            .push(TimerRequest::Arm(TimerKind::Rto, now + self.rtt.rto()));
     }
 
     fn cancel_rto_if_idle(&mut self) {

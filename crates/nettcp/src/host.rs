@@ -12,9 +12,8 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 
 use netpkt::{FlowKey, MacAddr, Packet, PacketView, TcpHeader};
+use netsim::rng::SimRng;
 use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 use crate::app::{App, ConnId, HostIo};
 use crate::config::TcpConfig;
@@ -101,7 +100,7 @@ pub struct Host {
     ports_in_use: HashSet<u16>,
     listeners: HashSet<u16>,
     app: Option<Box<dyn App>>,
-    rng: StdRng,
+    rng: SimRng,
     next_port: u16,
     next_ident: u16,
     next_gen: u32,
@@ -128,7 +127,7 @@ impl Host {
             ports_in_use: HashSet::new(),
             listeners: HashSet::new(),
             app: Some(app),
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             next_port: 33_000,
             next_ident: 1,
             next_gen: 1,
@@ -227,7 +226,11 @@ impl Host {
         // a reaped connection forever. Never answer a RST with a RST.
         if !flags.contains(netpkt::TcpFlags::RST) {
             self.stats.rsts_sent += 1;
-            let seq = if flags.contains(netpkt::TcpFlags::ACK) { view.tcp.ack } else { 0 };
+            let seq = if flags.contains(netpkt::TcpFlags::ACK) {
+                view.tcp.ack
+            } else {
+                0
+            };
             let mut ack = view.tcp.seq.wrapping_add(view.payload.len() as u32);
             if flags.contains(netpkt::TcpFlags::SYN) || flags.contains(netpkt::TcpFlags::FIN) {
                 ack = ack.wrapping_add(1);
@@ -235,10 +238,12 @@ impl Host {
             let ident = self.next_ident;
             self.next_ident = self.next_ident.wrapping_add(1);
             let rst = Packet::build_tcp(
-                self.mac,
-                MacAddr::from_id(0),
-                view.ip.dst,
-                view.ip.src,
+                netpkt::Addresses {
+                    src_mac: self.mac,
+                    dst_mac: MacAddr::from_id(0),
+                    src_ip: view.ip.dst,
+                    dst_ip: view.ip.src,
+                },
                 &TcpHeader {
                     src_port: view.tcp.dst_port,
                     dst_port: view.tcp.src_port,
@@ -265,7 +270,9 @@ impl Host {
     /// more work; the loop runs until quiescent).
     fn drain_work(&mut self, ctx: &mut Ctx<'_>) {
         while let Some(idx) = self.pending.pop_front() {
-            let Some(conn) = self.conns[idx].as_mut() else { continue };
+            let Some(conn) = self.conns[idx].as_mut() else {
+                continue;
+            };
             let segs = conn.take_segments();
             let reqs = conn.take_timer_requests();
             let events = conn.take_events();
@@ -294,7 +301,9 @@ impl Host {
                 self.dispatch_event(ctx, idx, ev);
             }
 
-            let Some(conn) = self.conns[idx].as_mut() else { continue };
+            let Some(conn) = self.conns[idx].as_mut() else {
+                continue;
+            };
             if conn.has_output() {
                 self.pending.push_back(idx);
             } else if conn.is_closed() {
@@ -332,10 +341,13 @@ impl Host {
         let ident = self.next_ident;
         self.next_ident = self.next_ident.wrapping_add(1);
         Packet::build_tcp(
-            self.mac,
-            MacAddr::from_id(0), // next hop resolves by routing, not MAC
-            lip,
-            rip,
+            // The next hop is resolved by routing, not by MAC.
+            netpkt::Addresses {
+                src_mac: self.mac,
+                dst_mac: MacAddr::from_id(0),
+                src_ip: lip,
+                dst_ip: rip,
+            },
             &TcpHeader {
                 src_port: lport,
                 dst_port: rport,
@@ -368,7 +380,11 @@ impl Node for Host {
             None => self.process_frame(ctx, pkt),
             Some((lo, hi)) => {
                 let span = hi.as_nanos().saturating_sub(lo.as_nanos());
-                let extra = if span == 0 { 0 } else { self.rng.gen_range(0..=span) };
+                let extra = if span == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=span)
+                };
                 let mut jitter = lo + Duration::from_nanos(extra);
                 if let Some((prob, len)) = self.cfg.rx_spike {
                     if self.rng.gen_bool(prob.clamp(0.0, 1.0)) {
@@ -395,7 +411,9 @@ impl Node for Host {
                     return; // stale or cancelled
                 }
                 self.armed[idx][kind_idx] = 0;
-                let Some(conn) = self.conns[idx].as_mut() else { return };
+                let Some(conn) = self.conns[idx].as_mut() else {
+                    return;
+                };
                 match kind_idx {
                     0 => conn.on_rto(ctx.now()),
                     1 => conn.on_delack(ctx.now()),
@@ -453,7 +471,10 @@ impl HostIo for Io<'_, '_> {
             }
             port = if port == u16::MAX { PORT_MIN } else { port + 1 };
         }
-        assert!(!self.host.ports_in_use.contains(&port), "ephemeral ports exhausted");
+        assert!(
+            !self.host.ports_in_use.contains(&port),
+            "ephemeral ports exhausted"
+        );
         self.host.next_port = if port == u16::MAX { PORT_MIN } else { port + 1 };
         self.host.ports_in_use.insert(port);
         let iss: u32 = self.host.rng.gen();
@@ -477,7 +498,9 @@ impl HostIo for Io<'_, '_> {
 
     fn send(&mut self, conn: ConnId, data: &[u8]) {
         let idx = conn.0 as usize;
-        let c = self.host.conns[idx].as_mut().unwrap_or_else(|| panic!("send on dead {conn}"));
+        let c = self.host.conns[idx]
+            .as_mut()
+            .unwrap_or_else(|| panic!("send on dead {conn}"));
         c.app_send(self.ctx.now(), data);
         self.host.enqueue(idx);
     }
@@ -492,7 +515,8 @@ impl HostIo for Io<'_, '_> {
 
     fn arm_app_timer(&mut self, after: Duration, token: u64) {
         assert!(token < (1 << 62), "app timer tokens must fit in 62 bits");
-        self.ctx.arm_timer(after, TimerToken((TAG_APP << 62) | token));
+        self.ctx
+            .arm_timer(after, TimerToken((TAG_APP << 62) | token));
     }
 
     fn send_backlog(&self, conn: ConnId) -> usize {
@@ -506,11 +530,14 @@ impl HostIo for Io<'_, '_> {
         let ident = self.host.next_ident;
         self.host.next_ident = self.host.next_ident.wrapping_add(1);
         let pkt = netpkt::udp::build_udp_payload(
-            self.host.mac,
-            MacAddr::from_id(0),
-            self.host.cfg.ip,
-            dst_ip,
-            49_999, // fixed agent source port; nothing replies to it
+            netpkt::Addresses {
+                src_mac: self.host.mac,
+                dst_mac: MacAddr::from_id(0),
+                src_ip: self.host.cfg.ip,
+                dst_ip,
+            },
+            49_999,
+            // fixed agent source port; nothing replies to it
             dst_port,
             payload,
             ident,
@@ -533,4 +560,3 @@ impl HostIo for Io<'_, '_> {
             .remote()
     }
 }
-

@@ -63,14 +63,19 @@ impl Pipe {
 
     /// Collects outgoing segments from one side into the pipe.
     fn collect(&mut self, from_a: bool) {
-        let (src, local, remote) = if from_a { (&mut self.a, A, B) } else { (&mut self.b, B, A) };
+        let (src, local, remote) = if from_a {
+            (&mut self.a, A, B)
+        } else {
+            (&mut self.b, B, A)
+        };
         for seg in src.take_segments() {
             if from_a && self.drop_from_a > 0 {
                 self.drop_from_a -= 1;
                 continue;
             }
             let hdr = hdr_of(local, remote, &seg);
-            self.in_flight.push((self.now + self.delay, !from_a, hdr, seg.payload));
+            self.in_flight
+                .push((self.now + self.delay, !from_a, hdr, seg.payload));
         }
     }
 
@@ -175,12 +180,19 @@ fn graceful_close_active_passive() {
     // a closes; b learns (Closed event), then closes its side.
     p.a.app_close(p.now);
     p.run();
-    assert!(has_closed(&p.events(false)), "passive side must learn of the close");
+    assert!(
+        has_closed(&p.events(false)),
+        "passive side must learn of the close"
+    );
     assert_eq!(p.b.state(), ConnState::CloseWait);
     p.b.app_close(p.now);
     p.run();
     assert!(p.a.is_closed(), "active closer finished: {:?}", p.a.state());
-    assert!(p.b.is_closed(), "passive closer finished: {:?}", p.b.state());
+    assert!(
+        p.b.is_closed(),
+        "passive closer finished: {:?}",
+        p.b.state()
+    );
     assert!(has_closed(&p.events(true)));
 }
 
@@ -264,7 +276,10 @@ fn repeated_timeouts_abort_the_connection() {
         }
     }
     assert!(c.is_closed(), "connection never aborted");
-    assert!(c.take_events().iter().any(|e| matches!(e, ConnEvent::Closed)));
+    assert!(c
+        .take_events()
+        .iter()
+        .any(|e| matches!(e, ConnEvent::Closed)));
 }
 
 #[test]
@@ -300,7 +315,7 @@ fn transfer_across_sequence_wraparound() {
     let iss = u32::MAX - 5_000; // wraps after ~5 KB
     let mut a = Conn::client(A, B, cfg, iss, now);
     let _ = a.take_segments();
-    let mut b = Conn::server_accept(B, A, cfg, 9000, iss, now);
+    let b = Conn::server_accept(B, A, cfg, 9000, iss, now);
     let mut p = PipeRaw { a, b, now };
     p.pump();
     assert_eq!(p.a.state(), ConnState::Established);
@@ -355,7 +370,10 @@ impl PipeRaw {
 fn sender_respects_peer_window() {
     // The peer advertises a 4 KB window: no more than 4 KB may ever be
     // unacknowledged, however much the app queues.
-    let small_window = TcpConfig { recv_window: 4096, ..TcpConfig::default() };
+    let small_window = TcpConfig {
+        recv_window: 4096,
+        ..TcpConfig::default()
+    };
     let mut p = Pipe::new(small_window);
     p.run();
     let _ = (p.events(true), p.events(false));
@@ -369,7 +387,10 @@ fn sender_respects_peer_window() {
 #[test]
 fn nagle_holds_small_segments_until_acked() {
     let run_with = |nagle: bool| -> usize {
-        let cfg = TcpConfig { nagle, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            nagle,
+            ..TcpConfig::default()
+        };
         let mut p = Pipe::new(cfg);
         p.run();
         let _ = (p.events(true), p.events(false));
@@ -377,15 +398,25 @@ fn nagle_holds_small_segments_until_acked() {
         p.a.app_send(p.now, b"tiny-1");
         p.a.app_send(p.now, b"tiny-2");
         // Count data segments emitted *before* any ACK comes back.
-        p.a.take_segments().iter().filter(|s| !s.payload.is_empty()).count()
+        p.a.take_segments()
+            .iter()
+            .filter(|s| !s.payload.is_empty())
+            .count()
     };
-    assert_eq!(run_with(false), 2, "without Nagle both writes leave immediately");
+    assert_eq!(
+        run_with(false),
+        2,
+        "without Nagle both writes leave immediately"
+    );
     assert_eq!(run_with(true), 1, "Nagle holds the second sub-MSS write");
 }
 
 #[test]
 fn nagle_still_delivers_everything() {
-    let cfg = TcpConfig { nagle: true, ..TcpConfig::default() };
+    let cfg = TcpConfig {
+        nagle: true,
+        ..TcpConfig::default()
+    };
     let mut p = Pipe::new(cfg);
     p.run();
     let _ = (p.events(true), p.events(false));
@@ -444,12 +475,23 @@ fn out_of_order_delivery_is_reassembled() {
         flags: netpkt::TcpFlags::ACK | netpkt::TcpFlags::PSH,
         window: 65535,
     };
-    b.on_segment(Time::from_nanos(2), &seg2, bytes::Bytes::from_static(b"world"));
-    assert!(data_of(&b.take_events()).is_empty(), "future data delivered early");
+    b.on_segment(
+        Time::from_nanos(2),
+        &seg2,
+        bytes::Bytes::from_static(b"world"),
+    );
+    assert!(
+        data_of(&b.take_events()).is_empty(),
+        "future data delivered early"
+    );
     assert_eq!(b.stats.ooo_segments, 1);
 
     let seg1 = TcpHeader { seq: 1001, ..seg2 };
-    b.on_segment(Time::from_nanos(3), &seg1, bytes::Bytes::from_static(b"hello"));
+    b.on_segment(
+        Time::from_nanos(3),
+        &seg1,
+        bytes::Bytes::from_static(b"hello"),
+    );
     assert_eq!(data_of(&b.take_events()), b"helloworld");
 }
 
@@ -466,15 +508,30 @@ fn overlapping_retransmission_not_double_delivered() {
         flags: netpkt::TcpFlags::ACK | netpkt::TcpFlags::PSH,
         window: 65535,
     };
-    b.on_segment(Time::from_nanos(1), &TcpHeader { flags: netpkt::TcpFlags::ACK, ..base }, bytes::Bytes::new());
+    b.on_segment(
+        Time::from_nanos(1),
+        &TcpHeader {
+            flags: netpkt::TcpFlags::ACK,
+            ..base
+        },
+        bytes::Bytes::new(),
+    );
     let _ = b.take_events();
-    b.on_segment(Time::from_nanos(2), &base, bytes::Bytes::from_static(b"abcde"));
+    b.on_segment(
+        Time::from_nanos(2),
+        &base,
+        bytes::Bytes::from_static(b"abcde"),
+    );
     // Retransmission covering old + new bytes.
     b.on_segment(
         Time::from_nanos(3),
         &base,
         bytes::Bytes::from_static(b"abcdefgh"),
     );
-    assert_eq!(data_of(&b.take_events()), b"abcdefgh", "old prefix must be deduplicated");
+    assert_eq!(
+        data_of(&b.take_events()),
+        b"abcdefgh",
+        "old prefix must be deduplicated"
+    );
     assert_eq!(b.stats.bytes_delivered, 8);
 }

@@ -45,7 +45,13 @@ struct BulkClient {
 
 impl BulkClient {
     fn new(total: usize) -> Self {
-        BulkClient { total, echoed: 0, connected: false, closed: false, rtt_samples: Vec::new() }
+        BulkClient {
+            total,
+            echoed: 0,
+            connected: false,
+            closed: false,
+            rtt_samples: Vec::new(),
+        }
     }
 }
 
@@ -89,8 +95,14 @@ fn rig(
     ccfg.tcp = client_tcp;
     let mut scfg = HostConfig::new(SERVER_IP, 2);
     scfg.tcp = server_tcp;
-    sim.install_node(c, Box::new(Host::new(ccfg, netpkt::MacAddr::from_id(1), l, client_app)));
-    sim.install_node(s, Box::new(Host::new(scfg, netpkt::MacAddr::from_id(2), l, server_app)));
+    sim.install_node(
+        c,
+        Box::new(Host::new(ccfg, netpkt::MacAddr::from_id(1), l, client_app)),
+    );
+    sim.install_node(
+        s,
+        Box::new(Host::new(scfg, netpkt::MacAddr::from_id(2), l, server_app)),
+    );
     (sim, c, s)
 }
 
@@ -130,7 +142,11 @@ fn large_transfer_spans_many_segments() {
         Box::new(EchoServer::default()),
     );
     sim.run_for(Duration::from_secs(10));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BulkClient>()
+        .unwrap();
     assert_eq!(app.echoed, total);
     assert!(app.closed);
     let server = sim.node_ref::<Host>(s).unwrap();
@@ -148,12 +164,22 @@ fn rtt_samples_match_path_delay() {
         Box::new(EchoServer::default()),
     );
     sim.run_for(Duration::from_secs(5));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BulkClient>()
+        .unwrap();
     assert!(!app.rtt_samples.is_empty());
     let min = app.rtt_samples.iter().min().unwrap();
     let max = app.rtt_samples.iter().max().unwrap();
-    assert!(*min >= Duration::from_micros(100), "min RTT {min} below path delay");
-    assert!(*max < Duration::from_millis(10), "max RTT {max} implausible");
+    assert!(
+        *min >= Duration::from_micros(100),
+        "min RTT {min} below path delay"
+    );
+    assert!(
+        *max < Duration::from_millis(10),
+        "max RTT {max} implausible"
+    );
 }
 
 #[test]
@@ -192,20 +218,29 @@ fn window_limited_flow_pauses_between_batches() {
     );
     let t0 = sim.now();
     sim.run_for(Duration::from_secs(30));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BulkClient>()
+        .unwrap();
     assert_eq!(app.echoed, total);
     // Rough duration check: 256 KiB at 4*1400 B per ~500 µs RTT ≈ 23 ms min.
     // (The echo direction is similarly limited.) If the flow were not
     // window-limited it would finish in ~4 ms.
     let elapsed = sim.now().saturating_since(t0);
     assert!(app.closed);
-    assert!(elapsed > Duration::from_millis(20), "flow was not window-limited: {elapsed}");
+    assert!(
+        elapsed > Duration::from_millis(20),
+        "flow was not window-limited: {elapsed}"
+    );
 }
 
 #[test]
 fn delayed_ack_still_delivers_everything() {
     let server_tcp = TcpConfig {
-        delayed_ack: DelayedAck::Enabled { max_delay: Duration::from_millis(40) },
+        delayed_ack: DelayedAck::Enabled {
+            max_delay: Duration::from_millis(40),
+        },
         ..TcpConfig::default()
     };
     let (mut sim, c, _s) = rig(
@@ -216,7 +251,11 @@ fn delayed_ack_still_delivers_everything() {
         Box::new(EchoServer::default()),
     );
     sim.run_for(Duration::from_secs(10));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BulkClient>()
+        .unwrap();
     assert_eq!(app.echoed, 32 * 1024);
     assert!(app.closed);
 }
@@ -226,7 +265,9 @@ fn pacing_spreads_transmissions() {
     // With pacing at 200 µs per segment, 10 segments take >= 1.8 ms to leave
     // the client, so the transfer cannot complete before that.
     let client_tcp = TcpConfig {
-        pacing: Pacing::Enabled { min_gap: Duration::from_micros(200) },
+        pacing: Pacing::Enabled {
+            min_gap: Duration::from_micros(200),
+        },
         congestion_control: false,
         ..TcpConfig::default()
     };
@@ -240,10 +281,17 @@ fn pacing_spreads_transmissions() {
     );
     let t0 = sim.now();
     sim.run_for(Duration::from_secs(5));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BulkClient>()
+        .unwrap();
     assert_eq!(app.echoed, total);
     let elapsed = sim.now().saturating_since(t0);
-    assert!(elapsed >= Duration::from_micros(1800), "pacing not applied: {elapsed}");
+    assert!(
+        elapsed >= Duration::from_micros(1800),
+        "pacing not applied: {elapsed}"
+    );
 }
 
 #[test]
@@ -313,8 +361,13 @@ fn two_runs_are_identical() {
             .iter()
             .map(|e| (e.at.as_nanos(), e.node.0, e.wire_len))
             .collect();
-        let rtts: Vec<Duration> =
-            sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap().rtt_samples.clone();
+        let rtts: Vec<Duration> = sim
+            .node_ref::<Host>(c)
+            .unwrap()
+            .app_ref::<BulkClient>()
+            .unwrap()
+            .rtt_samples
+            .clone();
         (events, rtts)
     };
     assert_eq!(run(), run());
@@ -332,18 +385,35 @@ fn rx_jitter_delays_but_preserves_data() {
     scfg.rx_jitter = Some((Duration::from_micros(10), Duration::from_micros(120)));
     sim.install_node(
         c,
-        Box::new(Host::new(ccfg, netpkt::MacAddr::from_id(1), l, Box::new(BulkClient::new(64 * 1024)))),
+        Box::new(Host::new(
+            ccfg,
+            netpkt::MacAddr::from_id(1),
+            l,
+            Box::new(BulkClient::new(64 * 1024)),
+        )),
     );
     sim.install_node(
         s,
-        Box::new(Host::new(scfg, netpkt::MacAddr::from_id(2), l, Box::new(EchoServer::default()))),
+        Box::new(Host::new(
+            scfg,
+            netpkt::MacAddr::from_id(2),
+            l,
+            Box::new(EchoServer::default()),
+        )),
     );
     sim.run_for(Duration::from_secs(10));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BulkClient>()
+        .unwrap();
     assert_eq!(app.echoed, 64 * 1024);
     assert!(app.closed);
     // Jitter must inflate observed RTTs beyond the bare path delay.
-    assert!(app.rtt_samples.iter().any(|r| *r > Duration::from_micros(120)));
+    assert!(app
+        .rtt_samples
+        .iter()
+        .any(|r| *r > Duration::from_micros(120)));
 }
 
 #[test]
@@ -358,7 +428,12 @@ fn rx_spikes_inflate_some_rtts() {
     ccfg.rx_spike = Some((0.2, Duration::from_millis(1)));
     sim.install_node(
         c,
-        Box::new(Host::new(ccfg, netpkt::MacAddr::from_id(1), l, Box::new(BulkClient::new(128 * 1024)))),
+        Box::new(Host::new(
+            ccfg,
+            netpkt::MacAddr::from_id(1),
+            l,
+            Box::new(BulkClient::new(128 * 1024)),
+        )),
     );
     sim.install_node(
         s,
@@ -370,9 +445,17 @@ fn rx_spikes_inflate_some_rtts() {
         )),
     );
     sim.run_for(Duration::from_secs(10));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<BulkClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BulkClient>()
+        .unwrap();
     assert_eq!(app.echoed, 128 * 1024, "spikes must not lose data");
-    let spiked = app.rtt_samples.iter().filter(|r| **r >= Duration::from_millis(1)).count();
+    let spiked = app
+        .rtt_samples
+        .iter()
+        .filter(|r| **r >= Duration::from_millis(1))
+        .count();
     assert!(
         spiked * 20 >= app.rtt_samples.len(),
         "too few spiked RTTs: {spiked}/{}",
@@ -410,7 +493,10 @@ fn many_sequential_connections_reuse_slots() {
         TcpConfig::default(),
         TcpConfig::default(),
         default_link(),
-        Box::new(ChurnClient { remaining: 19, done: 0 }),
+        Box::new(ChurnClient {
+            remaining: 19,
+            done: 0,
+        }),
         Box::new(EchoServer::default()),
     );
     sim.run_for(Duration::from_secs(10));
@@ -457,13 +543,27 @@ fn vip_addressed_server_accepts_and_replies_from_vip() {
     scfg.extra_ips.push(VIP);
     sim.install_node(
         c,
-        Box::new(Host::new(ccfg, netpkt::MacAddr::from_id(1), l, Box::new(VipClient { echoed: 0 }))),
+        Box::new(Host::new(
+            ccfg,
+            netpkt::MacAddr::from_id(1),
+            l,
+            Box::new(VipClient { echoed: 0 }),
+        )),
     );
     sim.install_node(
         s,
-        Box::new(Host::new(scfg, netpkt::MacAddr::from_id(2), l, Box::new(EchoServer::default()))),
+        Box::new(Host::new(
+            scfg,
+            netpkt::MacAddr::from_id(2),
+            l,
+            Box::new(EchoServer::default()),
+        )),
     );
     sim.run_for(Duration::from_secs(2));
-    let app = sim.node_ref::<Host>(c).unwrap().app_ref::<VipClient>().unwrap();
+    let app = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<VipClient>()
+        .unwrap();
     assert_eq!(app.echoed, 9);
 }

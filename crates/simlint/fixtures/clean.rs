@@ -1,0 +1,35 @@
+//! Lint fixture: zero violations even under the strictest scoping
+//! (deterministic + fast-path + controller). Mentions of banned names
+//! in comments and strings — thread_rng, Instant::now, panic! — must
+//! not be reported. Not compiled — consumed by simlint's unit tests.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::time::Duration;
+
+struct Table {
+    ordered: BTreeMap<u64, u64>,
+    /// Point lookups only; never iterated.
+    index: HashMap<u64, usize>,
+}
+
+impl Table {
+    fn lookup(&self, k: u64) -> Option<usize> {
+        let banned = "thread_rng() and Instant::now() and panic!()";
+        let _ = banned;
+        self.index.get(&k).copied()
+    }
+
+    fn sweep(&mut self, min: u64) {
+        // BTreeMap iteration is ordered, so this is deterministic.
+        self.ordered.retain(|_, v| *v >= min);
+    }
+
+    fn timeout(&self) -> Duration {
+        Duration::from_millis(250)
+    }
+
+    fn near(&self, a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+}

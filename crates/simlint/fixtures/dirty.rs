@@ -1,0 +1,47 @@
+//! Lint fixture: every rule should fire on this file when it is
+//! treated as deterministic + fast-path + controller scoped.
+//! Not compiled — consumed by simlint's own unit tests.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Table {
+    entries: HashMap<u64, u64>,
+}
+
+impl Table {
+    fn wall_clock(&self) -> Instant {
+        Instant::now() // D1
+    }
+
+    fn entropy(&self) -> u64 {
+        let mut rng = rand::thread_rng(); // D2
+        rng.gen()
+    }
+
+    fn sweep(&mut self) {
+        self.entries.retain(|_, v| *v > 0); // D3
+        for k in self.entries.keys() {
+            // D3
+            let _ = k;
+        }
+    }
+
+    fn fast_path(&self, k: u64) -> u64 {
+        *self.entries.get(&k).unwrap() // F1
+    }
+
+    fn float_eq(&self, gain: f64) -> bool {
+        gain == 0.25 // F2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Inside a test body: none of these may be reported.
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let x: Option<u8> = None;
+        let _ = x.unwrap();
+    }
+}

@@ -1,0 +1,244 @@
+//! Lint configuration: built-in defaults, optionally overridden by a
+//! `simlint.toml` at the workspace root.
+//!
+//! Only the TOML subset the config actually needs is parsed: `[a.b]`
+//! section headers, `key = "string"`, and `key = ["a", "b"]` arrays
+//! (single line), with `#` comments. Unknown sections and keys are
+//! rejected so typos fail loudly instead of silently disabling a rule.
+
+use std::fmt;
+
+/// Scopes for every rule, as path prefixes relative to the workspace
+/// root (`/`-separated). An entry matches a path when it equals the
+/// path or is a directory prefix of it.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Paths never scanned at all.
+    pub exclude: Vec<String>,
+    /// D1: paths where wall-clock time (`Instant`, `SystemTime`) is OK.
+    pub wallclock_allow: Vec<String>,
+    /// D3: deterministic crates where hash-order iteration is banned.
+    pub deterministic: Vec<String>,
+    /// F1: fast-path files where `unwrap`/`expect`/`panic!` are banned.
+    pub fastpath: Vec<String>,
+    /// F2: controller/estimator code where float `==`/`!=` is banned.
+    pub float_eq_scope: Vec<String>,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        Config {
+            exclude: v(&["target", "vendor", "crates/simlint", ".git"]),
+            wallclock_allow: v(&["crates/bench"]),
+            deterministic: v(&[
+                "crates/netsim",
+                "crates/nettcp",
+                "crates/lbcore",
+                "crates/lb-dataplane",
+                "crates/workload",
+            ]),
+            fastpath: v(&[
+                "crates/netpkt/src",
+                "crates/lb-dataplane/src/node.rs",
+                "crates/lbcore/src/flow_table.rs",
+                "crates/lbcore/src/maglev.rs",
+            ]),
+            float_eq_scope: v(&["crates/lbcore/src", "crates/telemetry/src"]),
+        }
+    }
+}
+
+/// A config-file syntax or schema error.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.msg)
+    }
+}
+
+impl Config {
+    /// Parses `simlint.toml` text over the built-in defaults. A key
+    /// that is present replaces the default list wholesale.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut cfg = Config::default();
+        let mut section = String::new();
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let mut idx = 0;
+        while idx < raw_lines.len() {
+            let lineno = idx + 1;
+            let mut line = strip_toml_comment(raw_lines[idx]).trim().to_string();
+            idx += 1;
+            // Join multi-line arrays: `key = [` … `]`.
+            while line.contains('[')
+                && !line.starts_with('[')
+                && !line.contains(']')
+                && idx < raw_lines.len()
+            {
+                line.push(' ');
+                line.push_str(strip_toml_comment(raw_lines[idx]).trim());
+                idx += 1;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                section = name.trim().to_string();
+                match section.as_str() {
+                    "scan" | "rules.d1" | "rules.d3" | "rules.f1" | "rules.f2" => {}
+                    other => {
+                        return Err(ConfigError {
+                            line: lineno,
+                            msg: format!("unknown section `[{other}]`"),
+                        })
+                    }
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ConfigError {
+                    line: lineno,
+                    msg: format!("expected `key = value`, got `{line}`"),
+                });
+            };
+            let key = key.trim();
+            let values = parse_string_array(value.trim()).ok_or_else(|| ConfigError {
+                line: lineno,
+                msg: format!("expected a string or [\"…\"] array for `{key}`"),
+            })?;
+            let target = match (section.as_str(), key) {
+                ("scan", "exclude") => &mut cfg.exclude,
+                ("rules.d1", "allow") => &mut cfg.wallclock_allow,
+                ("rules.d3", "deterministic") => &mut cfg.deterministic,
+                ("rules.f1", "fastpath") => &mut cfg.fastpath,
+                ("rules.f2", "scope") => &mut cfg.float_eq_scope,
+                _ => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        msg: format!("unknown key `{key}` in section `[{section}]`"),
+                    })
+                }
+            };
+            *target = values;
+        }
+        Ok(cfg)
+    }
+
+    /// True when `path` (workspace-relative, `/`-separated) is covered
+    /// by one of the `scopes` entries.
+    pub fn in_scope(path: &str, scopes: &[String]) -> bool {
+        scopes.iter().any(|s| {
+            let s = s.trim_end_matches('/');
+            path == s || path.starts_with(s) && path.as_bytes().get(s.len()) == Some(&b'/')
+        })
+    }
+}
+
+/// Drops a trailing `#` comment (the config grammar has no strings
+/// containing `#`, so a plain scan is enough).
+fn strip_toml_comment(line: &str) -> &str {
+    match line.find('#') {
+        Some(p) => &line[..p],
+        None => line,
+    }
+}
+
+/// Parses `"a"` or `["a", "b"]` into a list of strings.
+fn parse_string_array(value: &str) -> Option<Vec<String>> {
+    if let Some(single) = parse_quoted(value) {
+        return Some(vec![single]);
+    }
+    let inner = value
+        .strip_prefix('[')?
+        .strip_suffix(']')?
+        .trim()
+        .trim_end_matches(',');
+    if inner.is_empty() {
+        return Some(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|item| parse_quoted(item.trim()))
+        .collect()
+}
+
+/// Parses one `"…"` literal.
+fn parse_quoted(s: &str) -> Option<String> {
+    let body = s.strip_prefix('"')?.strip_suffix('"')?;
+    if body.contains('"') {
+        return None;
+    }
+    Some(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_deterministic_crates() {
+        let cfg = Config::default();
+        assert!(Config::in_scope(
+            "crates/netsim/src/sim.rs",
+            &cfg.deterministic
+        ));
+        assert!(!Config::in_scope(
+            "crates/experiments/src/lib.rs",
+            &cfg.deterministic
+        ));
+    }
+
+    #[test]
+    fn scope_matching_is_prefix_at_path_boundary() {
+        let scopes = vec!["crates/netsim".to_string()];
+        assert!(Config::in_scope("crates/netsim/src/rng.rs", &scopes));
+        assert!(Config::in_scope("crates/netsim", &scopes));
+        assert!(!Config::in_scope("crates/netsim2/src/lib.rs", &scopes));
+    }
+
+    #[test]
+    fn parse_overrides_defaults() {
+        let text = r#"
+# comment
+[scan]
+exclude = ["vendor", "crates/simlint"]
+
+[rules.f1]
+fastpath = ["crates/netpkt/src"]
+"#;
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.exclude, vec!["vendor", "crates/simlint"]);
+        assert_eq!(cfg.fastpath, vec!["crates/netpkt/src"]);
+        // Untouched sections keep their defaults.
+        assert!(!cfg.deterministic.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_keys_and_sections() {
+        assert!(Config::parse("[rules.zz]\n").is_err());
+        assert!(Config::parse("[scan]\nfoo = [\"x\"]\n").is_err());
+        assert!(Config::parse("[scan]\nexclude = 12\n").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_multiline_arrays_with_trailing_comma() {
+        let text = "[rules.d3]\nderministic_typo = 1\n";
+        assert!(Config::parse(text).is_err());
+        let text = "[rules.d3]\ndeterministic = [\n \"a\", # one\n \"b\",\n]\n";
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.deterministic, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parse_accepts_single_string_value() {
+        let cfg = Config::parse("[rules.d1]\nallow = \"crates/bench\"\n").unwrap();
+        assert_eq!(cfg.wallclock_allow, vec!["crates/bench"]);
+    }
+}

@@ -1,0 +1,635 @@
+//! The lint rules.
+//!
+//! | rule | scope                      | bans                                        |
+//! |------|----------------------------|---------------------------------------------|
+//! | D1   | everywhere except allow    | wall-clock time (`Instant`, `SystemTime`)   |
+//! | D2   | everywhere                 | ambient entropy (`thread_rng`, `OsRng`, …)  |
+//! | D3   | deterministic crates       | iteration over `HashMap`/`HashSet`          |
+//! | F1   | fast-path files            | `unwrap()`, `expect()`, `panic!`            |
+//! | F2   | controller/estimator code  | `==`/`!=` on floating-point values          |
+//!
+//! All rules skip `#[cfg(test)]` bodies and honour
+//! `// simlint: allow(<rule>)` markers.
+
+use crate::config::Config;
+use crate::scanner::{Line, SourceFile};
+use std::collections::BTreeSet;
+
+/// One rule violation, pointing at real source coordinates.
+#[derive(Debug)]
+pub struct Violation {
+    /// Rule id (`D1`…`F2`).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based byte column.
+    pub col: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+/// Runs every applicable rule over one preprocessed file.
+pub fn check_file(path: &str, src: &SourceFile, cfg: &Config) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if !Config::in_scope(path, &cfg.wallclock_allow) {
+        rule_d1(path, src, &mut out);
+    }
+    rule_d2(path, src, &mut out);
+    if Config::in_scope(path, &cfg.deterministic) {
+        rule_d3(path, src, &mut out);
+    }
+    if Config::in_scope(path, &cfg.fastpath) {
+        rule_f1(path, src, &mut out);
+    }
+    if Config::in_scope(path, &cfg.float_eq_scope) {
+        rule_f2(path, src, &mut out);
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}
+
+/// Lines a rule should look at: not in a test body, not suppressed.
+fn active<'a>(src: &'a SourceFile, rule: &'a str) -> impl Iterator<Item = &'a Line> {
+    src.lines
+        .iter()
+        .filter(move |l| !l.in_test && !l.allows(rule))
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds every occurrence of `needle` in `hay` that is not embedded in
+/// a longer identifier (checked on whichever ends of the needle are
+/// identifier characters).
+fn find_word_all(hay: &str, needle: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let nb = needle.as_bytes();
+    let check_front = nb.first().is_some_and(|b| is_ident_byte(*b));
+    let check_back = nb.last().is_some_and(|b| is_ident_byte(*b));
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let at = from + p;
+        let end = at + needle.len();
+        let front_ok = !check_front || at == 0 || !is_ident_byte(hb[at - 1]);
+        let back_ok = !check_back || end >= hb.len() || !is_ident_byte(hb[end]);
+        if front_ok && back_ok {
+            found.push(at);
+        }
+        from = at + 1;
+    }
+    found
+}
+
+/// D1: wall-clock time sources. `Duration` is fine; reading the host
+/// clock inside the simulation is not — sim time comes from the event
+/// loop.
+fn rule_d1(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
+    const PATTERNS: &[&str] = &[
+        "std::time::Instant",
+        "std::time::SystemTime",
+        "time::Instant",
+        "time::SystemTime",
+        "Instant::now",
+        "SystemTime::now",
+    ];
+    for line in active(src, "d1") {
+        // Report the earliest match only, so overlapping patterns
+        // (`std::time::Instant` / `time::Instant`) yield one finding.
+        if let Some(col) = PATTERNS
+            .iter()
+            .flat_map(|p| find_word_all(&line.code, p))
+            .min()
+        {
+            out.push(Violation {
+                rule: "D1",
+                path: path.to_string(),
+                line: line.number,
+                col: col + 1,
+                msg: "wall-clock time in simulation code (use sim time from the event loop; \
+                      only crates/bench may read the host clock)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// D2: ambient-entropy randomness. All randomness must flow from an
+/// explicitly seeded `netsim::rng::SimRng`.
+fn rule_d2(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
+    const PATTERNS: &[&str] = &["thread_rng", "rand::random", "from_entropy", "OsRng"];
+    for line in active(src, "d2") {
+        for pat in PATTERNS {
+            for col in find_word_all(&line.code, pat) {
+                out.push(Violation {
+                    rule: "D2",
+                    path: path.to_string(),
+                    line: line.number,
+                    col: col + 1,
+                    msg: format!(
+                        "nondeterministic randomness `{pat}` (seed a `netsim::rng::SimRng` \
+                         explicitly instead)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Iteration adapters whose order is the hash order.
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".retain(",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+];
+
+/// D3: iteration over `HashMap`/`HashSet` in deterministic crates.
+/// Construction and point lookups are fine; anything that observes the
+/// bucket order is not. Detection is two-pass: collect identifiers
+/// declared with a hash-table type, then flag order-observing calls on
+/// them.
+fn rule_d3(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
+    let mut hash_idents: BTreeSet<String> = BTreeSet::new();
+    for line in src.lines.iter().filter(|l| !l.in_test) {
+        for ty in ["HashMap", "HashSet"] {
+            for at in find_word_all(&line.code, ty) {
+                if let Some(name) = declared_ident(&line.code, at) {
+                    hash_idents.insert(name);
+                }
+            }
+        }
+    }
+    // Multi-line method chains: a line that *starts* with an
+    // order-observing call continues the previous line's expression
+    // (`self\n.entries\n.iter()`), so check the trailing identifier of
+    // the nearest preceding non-blank line.
+    let mut prev_trailing: Option<(String, usize)> = None; // (ident, line no.)
+    for line in src.lines.iter().filter(|l| !l.in_test) {
+        let trimmed = line.code.trim_start();
+        if let Some(m) = HASH_ITER_METHODS.iter().find(|m| trimmed.starts_with(**m)) {
+            if let Some((ident, _)) = prev_trailing
+                .as_ref()
+                .filter(|(id, _)| hash_idents.contains(id))
+            {
+                if !line.allows("d3") {
+                    let col = line.code.len() - trimmed.len() + 1;
+                    out.push(Violation {
+                        rule: "D3",
+                        path: path.to_string(),
+                        line: line.number,
+                        col,
+                        msg: format!(
+                            "hash-order iteration `{ident}{}` in a deterministic crate \
+                             (use a BTreeMap/BTreeSet or sort the keys first)",
+                            m.trim_end_matches('(')
+                        ),
+                    });
+                }
+            }
+        }
+        if let Some(ident) = trailing_ident(&line.code) {
+            prev_trailing = Some((ident, line.number));
+        } else if !line.code.trim().is_empty() {
+            prev_trailing = None;
+        }
+    }
+    for line in active(src, "d3") {
+        for ident in &hash_idents {
+            for at in find_word_all(&line.code, ident) {
+                let rest = &line.code[at + ident.len()..];
+                if let Some(m) = HASH_ITER_METHODS.iter().find(|m| rest.starts_with(**m)) {
+                    out.push(Violation {
+                        rule: "D3",
+                        path: path.to_string(),
+                        line: line.number,
+                        col: at + 1,
+                        msg: format!(
+                            "hash-order iteration `{ident}{}` in a deterministic crate \
+                             (use a BTreeMap/BTreeSet or sort the keys first)",
+                            m.trim_end_matches('(')
+                        ),
+                    });
+                } else if for_loop_over(&line.code, at, ident) {
+                    out.push(Violation {
+                        rule: "D3",
+                        path: path.to_string(),
+                        line: line.number,
+                        col: at + 1,
+                        msg: format!(
+                            "hash-order iteration `for … in {ident}` in a deterministic \
+                             crate (use a BTreeMap/BTreeSet or sort the keys first)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// The identifier a line's expression ends with (`self.entries` →
+/// `entries`), if it ends in one.
+fn trailing_ident(code: &str) -> Option<String> {
+    let t = code.trim_end();
+    let bytes = t.as_bytes();
+    let mut j = bytes.len();
+    while j > 0 && is_ident_byte(bytes[j - 1]) {
+        j -= 1;
+    }
+    if j == bytes.len() || bytes[j].is_ascii_digit() {
+        return None;
+    }
+    Some(t[j..].to_string())
+}
+
+/// Given a match of `HashMap`/`HashSet` at byte `at`, extracts the
+/// identifier being declared with that type, if any. Recognises
+/// `name: [path::]HashMap<…>` (field or annotated binding) and
+/// `[let [mut]] name = [path::]HashMap::…`.
+fn declared_ident(code: &str, at: usize) -> Option<String> {
+    let bytes = code.as_bytes();
+    // Walk back over the type path (`std::collections::`).
+    let mut i = at;
+    while i > 0 && (is_ident_byte(bytes[i - 1]) || bytes[i - 1] == b':') {
+        i -= 1;
+    }
+    // Walk back over whitespace and reference prefixes (`&`, `&mut`).
+    loop {
+        while i > 0 && bytes[i - 1] == b' ' {
+            i -= 1;
+        }
+        if i > 0 && bytes[i - 1] == b'&' {
+            i -= 1;
+            continue;
+        }
+        if i >= 3 && &bytes[i - 3..i] == b"mut" && (i == 3 || !is_ident_byte(bytes[i - 4])) {
+            i -= 3;
+            continue;
+        }
+        break;
+    }
+    if i == 0 {
+        return None;
+    }
+    let sep = bytes[i - 1];
+    if sep != b':' && sep != b'=' {
+        return None;
+    }
+    if sep == b':' && i >= 2 && bytes[i - 2] == b':' {
+        return None; // `::HashMap` path segment, not a declaration
+    }
+    if sep == b'=' && i >= 2 && matches!(bytes[i - 2], b'=' | b'!' | b'<' | b'>') {
+        return None; // comparison, not an assignment
+    }
+    let mut j = i - 1;
+    while j > 0 && bytes[j - 1] == b' ' {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident_byte(bytes[j - 1]) {
+        j -= 1;
+    }
+    if j == end {
+        return None;
+    }
+    let name = &code[j..end];
+    if name == "mut" || name.as_bytes()[0].is_ascii_digit() {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// True when the identifier at `at` is the bare sequence of a
+/// `for … in` loop (optionally `&`/`&mut`-prefixed). Method chains
+/// like `map.iter()` are handled by the method patterns instead.
+fn for_loop_over(code: &str, at: usize, ident: &str) -> bool {
+    let mut before = code[..at].trim_end();
+    if let Some(b) = before.strip_suffix("&mut") {
+        before = b.trim_end();
+    } else if let Some(b) = before.strip_suffix('&') {
+        before = b.trim_end();
+    }
+    if before != "in" && !before.ends_with(" in") {
+        return false;
+    }
+    let after = code[at + ident.len()..].trim_start();
+    after.is_empty() || after.starts_with('{')
+}
+
+/// F1: panicking calls on the packet fast path. These files process
+/// every packet; a malformed input must surface as a `Result`/`Option`,
+/// never a process abort.
+fn rule_f1(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
+    const PATTERNS: &[(&str, &str)] = &[
+        (".unwrap()", "unwrap()"),
+        (".expect(", "expect()"),
+        ("panic!(", "panic!"),
+        ("unreachable!(", "unreachable!"),
+        ("todo!(", "todo!"),
+        ("unimplemented!(", "unimplemented!"),
+    ];
+    for line in active(src, "f1") {
+        for (pat, label) in PATTERNS {
+            for col in find_word_all(&line.code, pat) {
+                out.push(Violation {
+                    rule: "F1",
+                    path: path.to_string(),
+                    line: line.number,
+                    col: col + 1,
+                    msg: format!(
+                        "`{label}` on the packet fast path (return a Result/Option; \
+                         a malformed packet must not abort the process)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// F2: float equality in controller/estimator code. Exact comparison
+/// of computed f64/f32 values is order-sensitive; use a tolerance or
+/// compare the underlying integers.
+fn rule_f2(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
+    for line in active(src, "f2") {
+        let bytes = line.code.as_bytes();
+        let mut i = 0;
+        while i + 1 < bytes.len() {
+            let two = &bytes[i..i + 2];
+            let is_eq = two == b"==";
+            let is_ne = two == b"!=";
+            if !(is_eq || is_ne) {
+                i += 1;
+                continue;
+            }
+            // Skip `<=`, `>=`, `=>`, `===`-like runs and pattern arms.
+            let prev = if i > 0 { bytes[i - 1] } else { b' ' };
+            let next = bytes.get(i + 2).copied().unwrap_or(b' ');
+            if is_eq
+                && matches!(
+                    prev,
+                    b'=' | b'!'
+                        | b'<'
+                        | b'>'
+                        | b'+'
+                        | b'-'
+                        | b'*'
+                        | b'/'
+                        | b'%'
+                        | b'&'
+                        | b'|'
+                        | b'^'
+                )
+                || next == b'='
+            {
+                i += 2;
+                continue;
+            }
+            let left = operand_back(&line.code, i);
+            let right = operand_forward(&line.code, i + 2);
+            if looks_float(left) || looks_float(right) {
+                out.push(Violation {
+                    rule: "F2",
+                    path: path.to_string(),
+                    line: line.number,
+                    col: i + 1,
+                    msg: format!(
+                        "exact float `{}` comparison in controller/estimator code \
+                         (compare with a tolerance instead)",
+                        if is_eq { "==" } else { "!=" }
+                    ),
+                });
+            }
+            i += 2;
+        }
+    }
+}
+
+/// Expression delimiters that terminate an operand scan.
+fn is_operand_delim(b: u8) -> bool {
+    matches!(
+        b,
+        b'(' | b')' | b',' | b';' | b'{' | b'}' | b'=' | b'<' | b'>' | b'&' | b'|' | b'[' | b']'
+    )
+}
+
+fn operand_back(code: &str, op_at: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut j = op_at;
+    while j > 0 && !is_operand_delim(bytes[j - 1]) {
+        j -= 1;
+    }
+    code[j..op_at].trim()
+}
+
+fn operand_forward(code: &str, from: usize) -> &str {
+    let bytes = code.as_bytes();
+    let mut j = from;
+    while j < bytes.len() && !is_operand_delim(bytes[j]) {
+        j += 1;
+    }
+    code[from..j].trim()
+}
+
+/// Heuristic: does this operand text involve floating point? True for
+/// float literals (`1.0`, `2.`, `3f64`) and `f32`/`f64` mentions
+/// (casts, paths like `f64::NAN`).
+fn looks_float(operand: &str) -> bool {
+    if !find_word_all(operand, "f64").is_empty() || !find_word_all(operand, "f32").is_empty() {
+        return true;
+    }
+    let bytes = operand.as_bytes();
+    for (k, &b) in bytes.iter().enumerate() {
+        if b != b'.' {
+            continue;
+        }
+        // Digits immediately before the dot…
+        let mut s = k;
+        while s > 0 && bytes[s - 1].is_ascii_digit() {
+            s -= 1;
+        }
+        if s == k {
+            continue;
+        }
+        // …that start a number, not the tail of an identifier (`v1.0`).
+        if s > 0 && is_ident_byte(bytes[s - 1]) {
+            continue;
+        }
+        // A digit (or end/non-ident) after the dot makes it a float
+        // literal; `1.method()` is not one we care about.
+        let after = bytes.get(k + 1).copied();
+        if after.is_none() || after.is_some_and(|a| a.is_ascii_digit() || !is_ident_byte(a)) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::SourceFile;
+
+    fn check(path: &str, src: &str) -> Vec<Violation> {
+        check_file(path, &SourceFile::parse(src), &Config::default())
+    }
+
+    fn rules(vs: &[Violation]) -> Vec<&'static str> {
+        vs.iter().map(|v| v.rule).collect()
+    }
+
+    #[test]
+    fn d1_flags_wall_clock_outside_bench() {
+        let vs = check(
+            "crates/netsim/src/x.rs",
+            "let t = std::time::Instant::now();\n",
+        );
+        assert_eq!(rules(&vs), ["D1"]);
+        assert_eq!(vs[0].line, 1);
+        assert_eq!(vs[0].col, 9);
+    }
+
+    #[test]
+    fn d1_allows_bench_and_duration() {
+        assert!(check("crates/bench/src/x.rs", "let t = Instant::now();\n").is_empty());
+        assert!(check(
+            "crates/netsim/src/x.rs",
+            "let d = Duration::from_secs(1);\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d2_flags_thread_rng_anywhere() {
+        let vs = check(
+            "crates/experiments/src/x.rs",
+            "let mut r = rand::thread_rng();\n",
+        );
+        assert_eq!(rules(&vs), ["D2"]);
+        let vs = check("crates/bench/src/x.rs", "let x: u8 = rand::random();\n");
+        assert_eq!(rules(&vs), ["D2"]);
+    }
+
+    #[test]
+    fn d2_ignores_strings_comments_and_tests() {
+        assert!(check("a.rs", "// thread_rng is banned\nlet m = \"thread_rng\";\n").is_empty());
+        assert!(check(
+            "a.rs",
+            "#[cfg(test)]\nmod tests {\n fn f() { let r = thread_rng(); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d3_flags_hash_iteration_in_deterministic_crates() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) { for v in self.m.values() { drop(v); } } }\n";
+        let vs = check("crates/lbcore/src/x.rs", src);
+        assert_eq!(rules(&vs), ["D3"]);
+        assert_eq!(vs[0].line, 2);
+    }
+
+    #[test]
+    fn d3_flags_let_bound_maps_and_for_loops() {
+        let src = "fn f() {\n let mut seen = HashSet::new();\n for k in &seen { drop(k); }\n}\n";
+        let vs = check("crates/netsim/src/x.rs", src);
+        assert_eq!(rules(&vs), ["D3"]);
+        let src2 = "fn f(m: &HashMap<u8, u8>) { m.retain(|_, _| true); }\n";
+        assert_eq!(rules(&check("crates/netsim/src/x.rs", src2)), ["D3"]);
+    }
+
+    #[test]
+    fn d3_catches_multiline_method_chains() {
+        let src = "struct S { entries: HashMap<u32, u32> }\n\
+                   impl S { fn f(&self) -> Option<u32> {\n\
+                       self\n\
+                           .entries\n\
+                           .iter()\n\
+                           .map(|(_, v)| *v)\n\
+                           .min()\n\
+                   } }\n";
+        let vs = check("crates/lbcore/src/x.rs", src);
+        assert_eq!(rules(&vs), ["D3"]);
+        assert_eq!(vs[0].line, 5);
+    }
+
+    #[test]
+    fn d3_permits_construction_and_lookup() {
+        let src = "fn f() {\n let mut m = HashMap::new();\n m.insert(1, 2);\n \
+                   let _ = m.get(&1);\n let _ = m.len();\n}\n";
+        assert!(check("crates/lbcore/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d3_not_applied_outside_deterministic_crates() {
+        let src = "fn f(m: HashMap<u8, u8>) { for k in m.keys() { drop(k); } }\n";
+        assert!(check("crates/experiments/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f1_flags_panics_in_fastpath_files() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
+                   fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n\
+                   fn h() { panic!(\"no\"); }\n";
+        let vs = check("crates/netpkt/src/packet.rs", src);
+        assert_eq!(rules(&vs), ["F1", "F1", "F1"]);
+    }
+
+    #[test]
+    fn f1_skips_tests_and_other_files() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t() { None::<u8>.unwrap(); }\n}\n";
+        assert!(check("crates/netpkt/src/packet.rs", src).is_empty());
+        assert!(check(
+            "crates/telemetry/src/x.rs",
+            "fn f() { None::<u8>.unwrap(); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn f2_flags_float_equality_in_scope() {
+        let vs = check(
+            "crates/lbcore/src/controller.rs",
+            "if gain == 0.0 { return; }\n",
+        );
+        assert_eq!(rules(&vs), ["F2"]);
+        let vs = check("crates/lbcore/src/estimator.rs", "let b = x as f64 != y;\n");
+        assert_eq!(rules(&vs), ["F2"]);
+    }
+
+    #[test]
+    fn f2_permits_integer_equality_and_tolerance() {
+        assert!(check("crates/lbcore/src/controller.rs", "if n == 0 { return; }\n").is_empty());
+        assert!(check(
+            "crates/lbcore/src/controller.rs",
+            "if (a - b).abs() < 1e-9 { return; }\n"
+        )
+        .is_empty());
+        // Out of scope: fine.
+        assert!(check("crates/netsim/src/x.rs", "if gain == 0.0 {}\n").is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_only_named_rule() {
+        let src = "let t = Instant::now(); // simlint: allow(d1)\n";
+        assert!(check("crates/netsim/src/x.rs", src).is_empty());
+        let src2 = "let t = Instant::now(); // simlint: allow(f1)\n";
+        assert_eq!(rules(&check("crates/netsim/src/x.rs", src2)), ["D1"]);
+    }
+
+    #[test]
+    fn violations_sorted_by_position() {
+        let src = "fn f(x: Option<u8>) { let t = Instant::now(); x.unwrap(); }\n";
+        let vs = check("crates/netpkt/src/x.rs", src);
+        assert_eq!(rules(&vs), ["D1", "F1"]);
+        assert!(vs[0].col < vs[1].col);
+    }
+}

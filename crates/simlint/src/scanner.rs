@@ -1,0 +1,443 @@
+//! Source preprocessing for the lint rules.
+//!
+//! The scanner blanks out comments and the *contents* of string/char
+//! literals (preserving byte columns, so diagnostics still point at the
+//! original source), tracks which lines live inside a `#[cfg(test)]`
+//! item, and extracts `// simlint: allow(<rule>)` suppressions.
+//!
+//! This is a line-and-byte level approximation of Rust, not a parser:
+//! it handles nested block comments, raw strings (`r"…"`, `r#"…"#`),
+//! byte strings, char literals vs. lifetimes, and escaped quotes, which
+//! is enough for the pattern rules to avoid false positives inside
+//! comments and literals.
+
+/// One source line, preprocessed.
+pub struct Line {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line with comments and literal contents blanked to spaces.
+    /// Byte offsets match the original line, so `code` columns are
+    /// real columns.
+    pub code: String,
+    /// True when the line is inside a `#[cfg(test)]` item body.
+    pub in_test: bool,
+    /// Rule ids (lowercase) suppressed on this line via
+    /// `// simlint: allow(rule, …)` on the same or the preceding
+    /// comment-only line.
+    pub allowed: Vec<String>,
+}
+
+impl Line {
+    /// True when `rule` (case-insensitive) is suppressed on this line.
+    pub fn allows(&self, rule: &str) -> bool {
+        self.allowed.iter().any(|a| a.eq_ignore_ascii_case(rule))
+    }
+}
+
+/// A preprocessed source file.
+pub struct SourceFile {
+    /// All lines, in order.
+    pub lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Preprocesses `src` into stripped, annotated lines.
+    pub fn parse(src: &str) -> SourceFile {
+        let stripped = strip(src);
+        let raw_lines: Vec<&str> = src.lines().collect();
+        let code_lines: Vec<&str> = stripped.lines().collect();
+        let test_flags = mark_test_regions(&code_lines);
+
+        let mut lines = Vec::with_capacity(raw_lines.len());
+        for (i, raw) in raw_lines.iter().enumerate() {
+            let mut allowed = parse_allows(raw);
+            if i > 0 {
+                let prev = raw_lines[i - 1].trim_start();
+                if prev.starts_with("//") {
+                    allowed.extend(parse_allows(prev));
+                }
+            }
+            lines.push(Line {
+                number: i + 1,
+                code: code_lines.get(i).copied().unwrap_or("").to_string(),
+                in_test: test_flags.get(i).copied().unwrap_or(false),
+                allowed,
+            });
+        }
+        SourceFile { lines }
+    }
+}
+
+/// Blanks comments and literal contents to spaces, preserving length,
+/// line structure, and the delimiting quotes of ordinary strings.
+fn strip(src: &str) -> String {
+    #[derive(PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let mut mode = Mode::Code;
+    let mut i = 0;
+
+    while i < n {
+        let c = chars[i];
+        match mode {
+            Mode::Code => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+                    mode = Mode::LineComment;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    mode = Mode::BlockComment(1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Str;
+                    out.push('"');
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && is_raw_string_start(&chars, i) {
+                    // r"…", r#"…"#, br"…", b"…" handled via lookahead.
+                    let (hashes, consumed) = raw_string_open(&chars, i);
+                    match hashes {
+                        Some(h) => {
+                            mode = Mode::RawStr(h);
+                            for _ in 0..consumed {
+                                out.push(' ');
+                            }
+                            i += consumed;
+                        }
+                        None => {
+                            // b"…" — plain string with a prefix byte.
+                            out.push(' ');
+                            out.push('"');
+                            mode = Mode::Str;
+                            i += consumed;
+                        }
+                    }
+                } else if c == '\'' {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        out.push('\'');
+                        for _ in i + 1..end {
+                            out.push(' ');
+                        }
+                        out.push('\'');
+                        i = end + 1;
+                    } else {
+                        // A lifetime; keep it.
+                        out.push('\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    mode = Mode::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    mode = Mode::BlockComment(depth + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if c == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(if chars[i + 1] == '\n' { '\n' } else { ' ' });
+                    i += 2;
+                } else if c == '"' {
+                    out.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw_string(&chars, i, hashes) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                    mode = Mode::Code;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// True when position `i` starts a raw/byte string prefix (`r`, `b`,
+/// `br`) that is not part of a longer identifier.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let p = chars[i - 1];
+        if p.is_alphanumeric() || p == '_' {
+            return false;
+        }
+    }
+    raw_string_open(chars, i).1 > 0
+}
+
+/// Classifies a raw/byte string opener at `i`. Returns
+/// `(Some(hash_count), consumed)` for raw strings, `(None, consumed)`
+/// for a plain byte string `b"`, and `(None, 0)` for "not an opener".
+fn raw_string_open(chars: &[char], i: usize) -> (Option<usize>, usize) {
+    let n = chars.len();
+    let mut j = i;
+    if j < n && chars[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < n && chars[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < n && chars[j] == '"' {
+        if raw {
+            (Some(hashes), j + 1 - i)
+        } else if hashes == 0 && j > i {
+            (None, j + 1 - i) // b"…"
+        } else {
+            (None, 0)
+        }
+    } else {
+        (None, 0)
+    }
+}
+
+/// True when the `"` at `i` is followed by `hashes` `#` characters.
+fn closes_raw_string(chars: &[char], i: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// If `'` at `i` opens a char literal, returns the index of its closing
+/// quote; returns `None` for lifetimes.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    let n = chars.len();
+    if i + 1 >= n {
+        return None;
+    }
+    if chars[i + 1] == '\\' {
+        // Escaped char: the escaped character itself may be a quote
+        // (`'\''`), so the closing-quote scan starts after it.
+        let mut j = i + 3;
+        while j < n && chars[j] != '\'' && chars[j] != '\n' {
+            j += 1;
+        }
+        return (j < n && chars[j] == '\'').then_some(j);
+    }
+    (i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'').then_some(i + 2)
+}
+
+/// Flags every line inside a `#[cfg(test)]` item body (and the
+/// attribute line itself). Items without a brace-delimited body (e.g.
+/// `#[cfg(test)] use …;`) are left unflagged.
+fn mark_test_regions(code_lines: &[&str]) -> Vec<bool> {
+    const ATTR: &str = "#[cfg(test)]";
+    let n = code_lines.len();
+    let mut flags = vec![false; n];
+    let mut line = 0;
+    while line < n {
+        let Some(pos) = code_lines[line].find(ATTR) else {
+            line += 1;
+            continue;
+        };
+        // Find the `{` opening the item body; stop at `;` (no body).
+        let mut l = line;
+        let mut byte = pos + ATTR.len();
+        let mut open: Option<(usize, usize)> = None;
+        'search: while l < n {
+            let bytes = code_lines[l].as_bytes();
+            while byte < bytes.len() {
+                match bytes[byte] {
+                    b'{' => {
+                        open = Some((l, byte));
+                        break 'search;
+                    }
+                    b';' => break 'search,
+                    _ => {}
+                }
+                byte += 1;
+            }
+            l += 1;
+            byte = 0;
+        }
+        let Some((mut l2, mut b2)) = open else {
+            line += 1;
+            continue;
+        };
+        // Match braces until the body closes.
+        let mut depth = 0i32;
+        'matching: while l2 < n {
+            let bytes = code_lines[l2].as_bytes();
+            while b2 < bytes.len() {
+                match bytes[b2] {
+                    b'{' => depth += 1,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break 'matching;
+                        }
+                    }
+                    _ => {}
+                }
+                b2 += 1;
+            }
+            l2 += 1;
+            b2 = 0;
+        }
+        let end = l2.min(n - 1);
+        for f in flags.iter_mut().take(end + 1).skip(line) {
+            *f = true;
+        }
+        line = end + 1;
+    }
+    flags
+}
+
+/// Extracts rule names from every `simlint: allow(a, b)` marker in a
+/// raw line.
+fn parse_allows(raw: &str) -> Vec<String> {
+    const MARK: &str = "simlint: allow(";
+    let mut out = Vec::new();
+    let mut rest = raw;
+    while let Some(p) = rest.find(MARK) {
+        let after = &rest[p + MARK.len()..];
+        let Some(close) = after.find(')') else { break };
+        for rule in after[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push(rule.to_ascii_lowercase());
+            }
+        }
+        rest = &after[close..];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_block_comments() {
+        let s = SourceFile::parse("let x = 1; // thread_rng\n/* panic! */ let y = 2;\n");
+        assert!(!s.lines[0].code.contains("thread_rng"));
+        assert!(s.lines[0].code.contains("let x = 1;"));
+        assert!(!s.lines[1].code.contains("panic!"));
+        assert!(s.lines[1].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn strips_nested_block_comments() {
+        let s = SourceFile::parse("/* a /* panic!() */ still comment */ let z = 3;\n");
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[0].code.contains("let z = 3;"));
+    }
+
+    #[test]
+    fn strips_string_contents_but_keeps_quotes() {
+        let s = SourceFile::parse("let m = \"call thread_rng() now\";\n");
+        assert!(!s.lines[0].code.contains("thread_rng"));
+        assert!(s.lines[0].code.contains("\""));
+    }
+
+    #[test]
+    fn strips_raw_strings() {
+        let s = SourceFile::parse("let m = r#\"panic!(\"x\")\"#; let k = 1;\n");
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[0].code.contains("let k = 1;"));
+    }
+
+    #[test]
+    fn handles_escaped_quotes() {
+        let s = SourceFile::parse("let m = \"a\\\"panic!\\\"b\"; let k = 2;\n");
+        assert!(!s.lines[0].code.contains("panic"));
+        assert!(s.lines[0].code.contains("let k = 2;"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = SourceFile::parse("fn f<'a>(x: &'a str) -> char { '\\'' }\n");
+        assert!(s.lines[0].code.contains("fn f<'a>"));
+        let s2 = SourceFile::parse("let q = 'x'; let y = 1;\n");
+        assert!(s2.lines[0].code.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn columns_are_preserved() {
+        let src = "abc /* xx */ def\n";
+        let s = SourceFile::parse(src);
+        assert_eq!(s.lines[0].code.len(), src.trim_end().len());
+        assert_eq!(s.lines[0].code.find("def"), src.find("def"));
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let s = SourceFile::parse(src);
+        assert!(!s.lines[0].in_test);
+        assert!(s.lines[1].in_test);
+        assert!(s.lines[2].in_test);
+        assert!(s.lines[3].in_test);
+        assert!(s.lines[4].in_test);
+        assert!(!s.lines[5].in_test);
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_is_not_a_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn c() { y.unwrap(); }\n";
+        let s = SourceFile::parse(src);
+        assert!(!s.lines[2].in_test);
+    }
+
+    #[test]
+    fn allow_markers_same_and_previous_line() {
+        let src = "let a = 1; // simlint: allow(f1)\n// simlint: allow(d2, d3)\nlet b = 2;\n";
+        let s = SourceFile::parse(src);
+        assert!(s.lines[0].allows("F1"));
+        assert!(!s.lines[0].allows("d2"));
+        assert!(s.lines[2].allows("d2"));
+        assert!(s.lines[2].allows("D3"));
+    }
+}

@@ -31,7 +31,13 @@ impl LogHistogram {
         // power-of-two "group" contributes SUB_BUCKETS/2 sub-buckets.
         let groups = 64 - SUB_BUCKET_BITS as usize; // msb from 6..=63
         let buckets = SUB_BUCKETS as usize + groups * (SUB_BUCKETS as usize / 2);
-        LogHistogram { counts: vec![0; buckets], total: 0, min: u64::MAX, max: 0, sum: 0 }
+        LogHistogram {
+            counts: vec![0; buckets],
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
     }
 
     fn index_of(value: u64) -> usize {
@@ -88,7 +94,11 @@ impl LogHistogram {
 
     /// Smallest recorded value (exact), or 0 when empty.
     pub fn min(&self) -> u64 {
-        if self.total == 0 { 0 } else { self.min }
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Largest recorded value (exact), or 0 when empty.

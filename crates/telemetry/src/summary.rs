@@ -28,14 +28,22 @@ impl AccuracySummary {
     /// given quantiles (defaults to the quartiles + p95 when empty).
     pub fn compare(estimates: &[u64], truth: &[u64], quantiles: &[f64]) -> AccuracySummary {
         let default_q = [0.25, 0.5, 0.75, 0.95];
-        let qs: &[f64] = if quantiles.is_empty() { &default_q } else { quantiles };
+        let qs: &[f64] = if quantiles.is_empty() {
+            &default_q
+        } else {
+            quantiles
+        };
         let mut quantile_errors = Vec::with_capacity(qs.len());
         let mut errs = Vec::with_capacity(qs.len());
         for &q in qs {
             let est = exact_percentile(estimates, q).unwrap_or(0);
             let tru = exact_percentile(truth, q).unwrap_or(0);
             let rel = if tru == 0 {
-                if est == 0 { 0.0 } else { f64::INFINITY }
+                if est == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
             } else {
                 (est as f64 - tru as f64).abs() / tru as f64
             };
@@ -43,7 +51,11 @@ impl AccuracySummary {
             errs.push(rel);
         }
         errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
-        let median_rel_err = if errs.is_empty() { 0.0 } else { errs[errs.len() / 2] };
+        let median_rel_err = if errs.is_empty() {
+            0.0
+        } else {
+            errs[errs.len() / 2]
+        };
         let sample_ratio = if truth.is_empty() {
             0.0
         } else {
@@ -73,7 +85,14 @@ impl core::fmt::Display for AccuracySummary {
             self.estimate_count, self.truth_count, self.sample_ratio
         )?;
         for (q, est, tru, rel) in &self.quantile_errors {
-            writeln!(f, "  p{:<4} est={:>10}ns truth={:>10}ns rel_err={:.3}", q * 100.0, est, tru, rel)?;
+            writeln!(
+                f,
+                "  p{:<4} est={:>10}ns truth={:>10}ns rel_err={:.3}",
+                q * 100.0,
+                est,
+                tru,
+                rel
+            )?;
         }
         Ok(())
     }

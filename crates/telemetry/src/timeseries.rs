@@ -15,7 +15,10 @@ impl BinnedSeries {
     /// Creates a series with the given bin width (nanoseconds).
     pub fn new(bin_width_ns: u64) -> Self {
         assert!(bin_width_ns > 0, "bin width must be positive");
-        BinnedSeries { bin_width_ns, bins: Vec::new() }
+        BinnedSeries {
+            bin_width_ns,
+            bins: Vec::new(),
+        }
     }
 
     /// Bin width in nanoseconds.

@@ -61,7 +61,12 @@ impl BacklogClient {
     /// Creates the sender.
     pub fn new(cfg: BacklogConfig) -> BacklogClient {
         let recorder = LatencyRecorder::new(1_000_000_000, cfg.raw_limit);
-        BacklogClient { cfg, conn: None, recorder, bytes_queued: 0 }
+        BacklogClient {
+            cfg,
+            conn: None,
+            recorder,
+            bytes_queued: 0,
+        }
     }
 }
 
@@ -95,7 +100,8 @@ impl App for BacklogClient {
     }
 
     fn on_rtt_sample(&mut self, io: &mut dyn HostIo, _conn: ConnId, rtt: Duration) {
-        self.recorder.record_rtt(io.now().as_nanos(), rtt.as_nanos());
+        self.recorder
+            .record_rtt(io.now().as_nanos(), rtt.as_nanos());
     }
 }
 

@@ -5,10 +5,9 @@ use std::net::Ipv4Addr;
 
 use netpkt::kv::{KvDecoder, KvMessage, KvOp};
 use netsim::rng::component_rng;
+use netsim::rng::SimRng;
 use netsim::Duration;
 use nettcp::{App, ConnId, HostIo};
-use rand::rngs::StdRng;
-use rand::Rng;
 
 use crate::keyspace::{KeyDist, KeySampler};
 use crate::recorder::LatencyRecorder;
@@ -115,7 +114,7 @@ pub struct MemtierStats {
 pub struct MemtierClient {
     cfg: MemtierConfig,
     keys: KeySampler,
-    rng: StdRng,
+    rng: SimRng,
     conns: HashMap<ConnId, ConnTracker>,
     next_req_id: u64,
     /// Ground-truth latency recording.
@@ -127,7 +126,10 @@ pub struct MemtierClient {
 impl MemtierClient {
     /// Creates the client.
     pub fn new(cfg: MemtierConfig) -> MemtierClient {
-        assert!(cfg.connections > 0 && cfg.pipeline > 0, "connections and pipeline must be positive");
+        assert!(
+            cfg.connections > 0 && cfg.pipeline > 0,
+            "connections and pipeline must be positive"
+        );
         let recorder = LatencyRecorder::new(cfg.recorder_bin.as_nanos(), cfg.raw_limit);
         let rng = component_rng(cfg.seed, "memtier-client");
         let keys = KeySampler::new(cfg.key_count.max(1), cfg.key_dist);
@@ -149,7 +151,9 @@ impl MemtierClient {
     }
 
     fn issue_one(&mut self, io: &mut dyn HostIo, conn: ConnId) {
-        let Some(t) = self.conns.get_mut(&conn) else { return };
+        let Some(t) = self.conns.get_mut(&conn) else {
+            return;
+        };
         if t.closing {
             return;
         }
@@ -173,7 +177,9 @@ impl MemtierClient {
 
     fn fill_pipeline(&mut self, io: &mut dyn HostIo, conn: ConnId) {
         loop {
-            let Some(t) = self.conns.get(&conn) else { return };
+            let Some(t) = self.conns.get(&conn) else {
+                return;
+            };
             if t.closing || t.outstanding.len() >= self.cfg.pipeline {
                 return;
             }
@@ -190,7 +196,11 @@ impl MemtierClient {
             None => self.fill_pipeline(io, conn),
             Some((lo, hi)) => {
                 let span = hi.as_nanos().saturating_sub(lo.as_nanos());
-                let extra = if span == 0 { 0 } else { self.rng.gen_range(0..=span) };
+                let extra = if span == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(0..=span)
+                };
                 let wait = lo + Duration::from_nanos(extra);
                 io.arm_app_timer(wait, conn.0 as u64);
             }
@@ -198,7 +208,9 @@ impl MemtierClient {
     }
 
     fn maybe_recycle(&mut self, io: &mut dyn HostIo, conn: ConnId) {
-        let Some(t) = self.conns.get_mut(&conn) else { return };
+        let Some(t) = self.conns.get_mut(&conn) else {
+            return;
+        };
         if self.cfg.requests_per_conn > 0
             && t.completed >= self.cfg.requests_per_conn
             && t.outstanding.is_empty()
@@ -224,7 +236,9 @@ impl App for MemtierClient {
 
     fn on_data(&mut self, io: &mut dyn HostIo, conn: ConnId, data: &[u8]) {
         let now = io.now().as_nanos();
-        let Some(t) = self.conns.get_mut(&conn) else { return };
+        let Some(t) = self.conns.get_mut(&conn) else {
+            return;
+        };
         t.decoder.push(data);
         let mut finished = Vec::new();
         while let Ok(Some(resp)) = t.decoder.next_message() {
@@ -267,6 +281,7 @@ impl App for MemtierClient {
     }
 
     fn on_rtt_sample(&mut self, io: &mut dyn HostIo, _conn: ConnId, rtt: Duration) {
-        self.recorder.record_rtt(io.now().as_nanos(), rtt.as_nanos());
+        self.recorder
+            .record_rtt(io.now().as_nanos(), rtt.as_nanos());
     }
 }

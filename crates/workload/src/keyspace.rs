@@ -5,8 +5,7 @@
 //! skew does not change the LB's packet timing (requests are equal-sized)
 //! but matters for backend cache realism and future extensions.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use netsim::rng::SimRng;
 
 /// How keys are drawn from `0..key_count`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,7 +56,7 @@ impl KeySampler {
     }
 
     /// Draws one key.
-    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
         if self.cdf.is_empty() {
             rng.gen_range(0..self.key_count)
         } else {
@@ -75,10 +74,9 @@ impl KeySampler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn draws(sampler: &KeySampler, n: usize) -> Vec<u64> {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = SimRng::seed_from_u64(5);
         (0..n).map(|_| sampler.sample(&mut rng)).collect()
     }
 
@@ -114,9 +112,7 @@ mod tests {
     fn strong_skew_concentrates_more() {
         let weak = KeySampler::new(1000, KeyDist::Zipf { s: 0.8 });
         let strong = KeySampler::new(1000, KeyDist::Zipf { s: 1.4 });
-        let hot = |s: &KeySampler| {
-            draws(s, 50_000).iter().filter(|&&k| k == 0).count()
-        };
+        let hot = |s: &KeySampler| draws(s, 50_000).iter().filter(|&&k| k == 0).count();
         assert!(hot(&strong) > 2 * hot(&weak));
     }
 

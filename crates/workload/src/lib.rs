@@ -23,6 +23,6 @@ pub mod keyspace;
 pub mod recorder;
 
 pub use backlog::{BacklogClient, BacklogConfig, SinkServer};
-pub use keyspace::{KeyDist, KeySampler};
 pub use client::{MemtierClient, MemtierConfig};
+pub use keyspace::{KeyDist, KeySampler};
 pub use recorder::LatencyRecorder;

@@ -24,9 +24,17 @@ fn run_memtier(cfg: MemtierConfig, secs: u64) -> (Simulation, netsim::NodeId, ne
     });
     sim.install_node(
         s,
-        Box::new(Host::new(HostConfig::new(SERVER_IP, 2), MacAddr::from_id(2), l, Box::new(server))),
+        Box::new(Host::new(
+            HostConfig::new(SERVER_IP, 2),
+            MacAddr::from_id(2),
+            l,
+            Box::new(server),
+        )),
     );
-    let cfg = MemtierConfig { vip: SERVER_IP, ..cfg };
+    let cfg = MemtierConfig {
+        vip: SERVER_IP,
+        ..cfg
+    };
     sim.install_node(
         c,
         Box::new(Host::new(
@@ -41,31 +49,56 @@ fn run_memtier(cfg: MemtierConfig, secs: u64) -> (Simulation, netsim::NodeId, ne
 }
 
 fn client_of(sim: &Simulation, c: netsim::NodeId) -> &MemtierClient {
-    sim.node_ref::<Host>(c).unwrap().app_ref::<MemtierClient>().unwrap()
+    sim.node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<MemtierClient>()
+        .unwrap()
 }
 
 #[test]
 fn get_set_mix_approximates_ratio() {
     let (sim, c, s) = run_memtier(
-        MemtierConfig { connections: 4, pipeline: 1, get_ratio: 0.5, requests_per_conn: 0, ..MemtierConfig::default() },
+        MemtierConfig {
+            connections: 4,
+            pipeline: 1,
+            get_ratio: 0.5,
+            requests_per_conn: 0,
+            ..MemtierConfig::default()
+        },
         1,
     );
-    let server = sim.node_ref::<Host>(s).unwrap().app_ref::<KvServerApp>().unwrap();
+    let server = sim
+        .node_ref::<Host>(s)
+        .unwrap()
+        .app_ref::<KvServerApp>()
+        .unwrap();
     let total = (server.stats.gets + server.stats.sets) as f64;
     assert!(total > 1000.0, "too few requests: {total}");
     let get_frac = server.stats.gets as f64 / total;
     assert!((get_frac - 0.5).abs() < 0.05, "GET fraction {get_frac}");
     let client = client_of(&sim, c);
-    assert_eq!(client.stats.completed + (client.stats.issued - client.stats.completed), client.stats.issued);
+    assert_eq!(
+        client.stats.completed + (client.stats.issued - client.stats.completed),
+        client.stats.issued
+    );
 }
 
 #[test]
 fn skewed_mix_respected() {
     let (sim, _c, s) = run_memtier(
-        MemtierConfig { connections: 2, get_ratio: 0.9, requests_per_conn: 0, ..MemtierConfig::default() },
+        MemtierConfig {
+            connections: 2,
+            get_ratio: 0.9,
+            requests_per_conn: 0,
+            ..MemtierConfig::default()
+        },
         1,
     );
-    let server = sim.node_ref::<Host>(s).unwrap().app_ref::<KvServerApp>().unwrap();
+    let server = sim
+        .node_ref::<Host>(s)
+        .unwrap()
+        .app_ref::<KvServerApp>()
+        .unwrap();
     let get_frac = server.stats.gets as f64 / (server.stats.gets + server.stats.sets) as f64;
     assert!((get_frac - 0.9).abs() < 0.05, "GET fraction {get_frac}");
 }
@@ -74,23 +107,39 @@ fn skewed_mix_respected() {
 fn pipeline_bounds_outstanding() {
     // With pipeline = 3 and 2 connections, never more than 6 outstanding.
     let (sim, c, _s) = run_memtier(
-        MemtierConfig { connections: 2, pipeline: 3, requests_per_conn: 0, ..MemtierConfig::default() },
+        MemtierConfig {
+            connections: 2,
+            pipeline: 3,
+            requests_per_conn: 0,
+            ..MemtierConfig::default()
+        },
         1,
     );
     let client = client_of(&sim, c);
     let outstanding = client.stats.issued - client.stats.completed;
-    assert!(outstanding <= 6, "outstanding {outstanding} exceeds pipeline bound");
+    assert!(
+        outstanding <= 6,
+        "outstanding {outstanding} exceeds pipeline bound"
+    );
     assert!(client.stats.completed > 1000);
 }
 
 #[test]
 fn churn_recycles_connections() {
     let (sim, c, _s) = run_memtier(
-        MemtierConfig { connections: 2, requests_per_conn: 50, ..MemtierConfig::default() },
+        MemtierConfig {
+            connections: 2,
+            requests_per_conn: 50,
+            ..MemtierConfig::default()
+        },
         1,
     );
     let client = client_of(&sim, c);
-    assert!(client.stats.conns_recycled > 10, "no churn: {:?}", client.stats);
+    assert!(
+        client.stats.conns_recycled > 10,
+        "no churn: {:?}",
+        client.stats
+    );
     // The connection count stays constant: opened = recycled + initial 2
     // (plus possibly the in-flight reopen).
     assert!(client.stats.conns_opened >= client.stats.conns_recycled + 2);
@@ -101,7 +150,11 @@ fn churn_recycles_connections() {
 #[test]
 fn no_churn_keeps_connections() {
     let (sim, c, _s) = run_memtier(
-        MemtierConfig { connections: 3, requests_per_conn: 0, ..MemtierConfig::default() },
+        MemtierConfig {
+            connections: 3,
+            requests_per_conn: 0,
+            ..MemtierConfig::default()
+        },
         1,
     );
     let client = client_of(&sim, c);
@@ -112,7 +165,12 @@ fn no_churn_keeps_connections() {
 #[test]
 fn think_time_reduces_throughput() {
     let fast = run_memtier(
-        MemtierConfig { connections: 1, pipeline: 1, requests_per_conn: 0, ..MemtierConfig::default() },
+        MemtierConfig {
+            connections: 1,
+            pipeline: 1,
+            requests_per_conn: 0,
+            ..MemtierConfig::default()
+        },
         1,
     );
     let slow = run_memtier(
@@ -138,7 +196,12 @@ fn think_time_reduces_throughput() {
 #[test]
 fn recorder_latencies_match_path() {
     let (sim, c, _s) = run_memtier(
-        MemtierConfig { connections: 1, pipeline: 1, requests_per_conn: 0, ..MemtierConfig::default() },
+        MemtierConfig {
+            connections: 1,
+            pipeline: 1,
+            requests_per_conn: 0,
+            ..MemtierConfig::default()
+        },
         1,
     );
     let rec = &client_of(&sim, c).recorder;
@@ -175,15 +238,30 @@ fn backlog_client_saturates_window() {
             ccfg,
             MacAddr::from_id(1),
             l,
-            Box::new(BacklogClient::new(BacklogConfig { dst: SERVER_IP, ..BacklogConfig::default() })),
+            Box::new(BacklogClient::new(BacklogConfig {
+                dst: SERVER_IP,
+                ..BacklogConfig::default()
+            })),
         )),
     );
     sim.run_for(Duration::from_secs(1));
-    let sink = sim.node_ref::<Host>(s).unwrap().app_ref::<SinkServer>().unwrap();
+    let sink = sim
+        .node_ref::<Host>(s)
+        .unwrap()
+        .app_ref::<SinkServer>()
+        .unwrap();
     // Window-limited: 4 * 1400 B per ~200 µs RTT ≈ 28 MB/s; over 1 s the
     // sink must have consumed tens of MB (and far less than line rate).
-    assert!(sink.bytes > 10_000_000, "sink got only {} bytes", sink.bytes);
+    assert!(
+        sink.bytes > 10_000_000,
+        "sink got only {} bytes",
+        sink.bytes
+    );
     assert!(sink.bytes < 125_000_000, "flow was not window-limited");
-    let client = sim.node_ref::<Host>(c).unwrap().app_ref::<BacklogClient>().unwrap();
+    let client = sim
+        .node_ref::<Host>(c)
+        .unwrap()
+        .app_ref::<BacklogClient>()
+        .unwrap();
     assert!(!client.recorder.rtt_raw().is_empty());
 }

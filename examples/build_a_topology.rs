@@ -58,7 +58,12 @@ fn main() {
         });
         sim.install_node(
             node,
-            Box::new(Host::new(host_cfg, MacAddr::from_id(0xb0 + j as u32), ret, Box::new(server))),
+            Box::new(Host::new(
+                host_cfg,
+                MacAddr::from_id(0xb0 + j as u32),
+                ret,
+                Box::new(server),
+            )),
         );
         backend_ips.push(ip);
         fwd_links.push(fwd);
@@ -66,7 +71,10 @@ fn main() {
 
     // The load balancer: latency-aware, paper's α-shift controller.
     let lb_cfg = LbConfig::latency_aware(VIP, backend_ips, Box::new(AlphaShift::damped()));
-    sim.install_node(lb_id, Box::new(LbNode::new(lb_cfg, MacAddr::from_id(0xff), fwd_links)));
+    sim.install_node(
+        lb_id,
+        Box::new(LbNode::new(lb_cfg, MacAddr::from_id(0xff), fwd_links)),
+    );
 
     // One client host running 12 closed-loop connections.
     let client_ip = Ipv4Addr::new(10, 0, 0, 1);
@@ -82,7 +90,12 @@ fn main() {
     });
     sim.install_node(
         client_id,
-        Box::new(Host::new(HostConfig::new(client_ip, 7), MacAddr::from_id(0xc0), access, Box::new(client))),
+        Box::new(Host::new(
+            HostConfig::new(client_ip, 7),
+            MacAddr::from_id(0xc0),
+            access,
+            Box::new(client),
+        )),
     );
 
     sim.install_node(router_id, Box::new(router));
@@ -102,7 +115,11 @@ fn main() {
             est.samples(),
         );
     }
-    let client = sim.node_ref::<Host>(client_id).unwrap().app_ref::<MemtierClient>().unwrap();
+    let client = sim
+        .node_ref::<Host>(client_id)
+        .unwrap()
+        .app_ref::<MemtierClient>()
+        .unwrap();
     println!(
         "client completed {} requests; overall p95 = {:.0} us",
         client.recorder.responses,

@@ -11,7 +11,9 @@ use experiments::topology::{BacklogScenario, BacklogScenarioConfig};
 use netsim::{Duration, TraceKind};
 
 fn main() -> std::io::Result<()> {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "lb_view.pcap".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lb_view.pcap".into());
 
     let cfg = Fig2Config::default();
     let mut scenario = BacklogScenario::build(BacklogScenarioConfig {

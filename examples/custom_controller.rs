@@ -28,8 +28,12 @@ impl Controller for TwoLevelShift {
                 return false;
             }
         }
-        let Some((worst, worst_lat)) = est.worst(now) else { return false };
-        let Some(best) = est.best_other(worst, now) else { return false };
+        let Some((worst, worst_lat)) = est.worst(now) else {
+            return false;
+        };
+        let Some(best) = est.best_other(worst, now) else {
+            return false;
+        };
         let alpha = if worst_lat >= 3.0 * best {
             0.30
         } else if worst_lat >= 1.2 * best {
@@ -87,5 +91,7 @@ fn run(name: &str, make: impl FnOnce() -> Box<dyn Controller>) {
 fn main() {
     println!("custom controller vs the paper's alpha-shift (1ms injected at t=4s):\n");
     run("alpha-shift", || Box::new(AlphaShift::damped()));
-    run("two-level", || Box::new(TwoLevelShift { last_action: None }));
+    run("two-level", || {
+        Box::new(TwoLevelShift { last_action: None })
+    });
 }

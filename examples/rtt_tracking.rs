@@ -54,6 +54,12 @@ fn main() {
         );
     }
     println!();
-    println!("accuracy before the step (median rel. error): {:.1}%", r.pre_step.median_rel_err * 100.0);
-    println!("accuracy after the step  (median rel. error): {:.1}%", r.post_step.median_rel_err * 100.0);
+    println!(
+        "accuracy before the step (median rel. error): {:.1}%",
+        r.pre_step.median_rel_err * 100.0
+    );
+    println!(
+        "accuracy after the step  (median rel. error): {:.1}%",
+        r.post_step.median_rel_err * 100.0
+    );
 }

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything CI runs, runnable locally with one command.
+#
+#   ./scripts/check.sh
+#
+# Order is cheapest-first so the common failure modes surface fast:
+# formatting, then the simlint static pass (determinism + fast-path
+# rules, see README.md "simlint"), then build, then tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> simlint --workspace"
+cargo run -q -p simlint -- --workspace
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "All checks passed."

@@ -29,12 +29,19 @@ fn lb_sees_only_client_to_vip_traffic() {
 
     let lb = cluster.lb;
     let mut delivered = 0u64;
-    for e in cluster.sim.trace().filter(|e| e.node == lb && e.kind == TraceKind::Deliver) {
+    for e in cluster
+        .sim
+        .trace()
+        .filter(|e| e.node == lb && e.kind == TraceKind::Deliver)
+    {
         let flow = e.flow.expect("LB traffic must parse as TCP/IPv4");
         assert_eq!(flow.dst_ip, VIP, "a non-VIP packet reached the LB: {flow}");
         delivered += 1;
     }
-    assert!(delivered > 10_000, "implausibly little traffic: {delivered}");
+    assert!(
+        delivered > 10_000,
+        "implausibly little traffic: {delivered}"
+    );
     let stats = cluster.lb_node().stats;
     assert_eq!(stats.rx, stats.forwarded + stats.dropped);
     assert_eq!(stats.dropped, 0, "the LB dropped in-scope traffic");
@@ -73,7 +80,11 @@ fn responses_bypass_the_lb() {
 #[test]
 fn no_request_lost_during_weight_churn() {
     let mut cluster = aware_cluster(3);
-    cluster.inject_backend_delay(0, Time::ZERO + Duration::from_millis(500), Duration::from_millis(1));
+    cluster.inject_backend_delay(
+        0,
+        Time::ZERO + Duration::from_millis(500),
+        Duration::from_millis(1),
+    );
     cluster.sim.run_for(Duration::from_secs(3));
 
     let client = cluster.client_app(0);
@@ -95,7 +106,11 @@ fn no_request_lost_during_weight_churn() {
 #[test]
 fn affinity_survives_table_rebuilds() {
     let mut cluster = aware_cluster(4);
-    cluster.inject_backend_delay(0, Time::ZERO + Duration::from_millis(300), Duration::from_millis(1));
+    cluster.inject_backend_delay(
+        0,
+        Time::ZERO + Duration::from_millis(300),
+        Duration::from_millis(1),
+    );
     cluster.sim.enable_trace(1 << 21);
     cluster.sim.run_for(Duration::from_secs(2));
 
@@ -118,7 +133,11 @@ fn affinity_survives_table_rebuilds() {
             }
         }
     }
-    assert!(flow_backend.len() > 100, "too few flows observed: {}", flow_backend.len());
+    assert!(
+        flow_backend.len() > 100,
+        "too few flows observed: {}",
+        flow_backend.len()
+    );
 }
 
 /// The same cluster, run twice with the same seed, produces identical
@@ -127,8 +146,11 @@ fn affinity_survives_table_rebuilds() {
 fn cluster_runs_are_deterministic() {
     let run = || {
         let mut cluster = aware_cluster(5);
-        cluster
-            .inject_backend_delay(0, Time::ZERO + Duration::from_millis(400), Duration::from_millis(1));
+        cluster.inject_backend_delay(
+            0,
+            Time::ZERO + Duration::from_millis(400),
+            Duration::from_millis(1),
+        );
         cluster.sim.run_for(Duration::from_secs(2));
         let client: &MemtierClient = cluster.client_app(0);
         let lb: &LbNode = cluster.lb_node();
@@ -149,14 +171,12 @@ fn cluster_runs_are_deterministic() {
 #[test]
 fn oob_reports_drive_the_controller() {
     use experiments::topology::{CONTROL_IP, CONTROL_PORT};
-    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
-        Box::new(|backends| {
-            let mut lb =
-                LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
-            lb.inband = false;
-            lb.control_addr = Some((CONTROL_IP, CONTROL_PORT));
-            lb
-        });
+    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> = Box::new(|backends| {
+        let mut lb = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+        lb.inband = false;
+        lb.control_addr = Some((CONTROL_IP, CONTROL_PORT));
+        lb
+    });
     let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
     cfg.seed = 21;
     cfg.oob_report_period = Some(Duration::from_millis(5));
@@ -167,8 +187,15 @@ fn oob_reports_drive_the_controller() {
 
     let lb = cluster.lb_node();
     assert_eq!(lb.stats.samples, 0, "in-band measurement must be off");
-    assert!(lb.stats.oob_reports > 100, "reports: {}", lb.stats.oob_reports);
-    assert!(lb.stats.table_rebuilds > 0, "controller never acted on reports");
+    assert!(
+        lb.stats.oob_reports > 100,
+        "reports: {}",
+        lb.stats.oob_reports
+    );
+    assert!(
+        lb.stats.table_rebuilds > 0,
+        "controller never acted on reports"
+    );
     assert!(
         lb.weights().get(0) < 0.3,
         "weights did not shift off the slow backend: {:?}",
@@ -201,7 +228,10 @@ fn lb_failover_breaks_nothing_for_plain_maglev() {
     assert_eq!(stats.conns_broken, 0, "failover broke connections");
     assert!(stats.completed > 10_000);
     // The router applied exactly one scripted update.
-    let router = cluster.sim.node_ref::<netsim::router::Router>(cluster.router).unwrap();
+    let router = cluster
+        .sim
+        .node_ref::<netsim::router::Router>(cluster.router)
+        .unwrap();
     assert_eq!(router.stats.route_updates, 1);
 }
 
@@ -213,7 +243,10 @@ fn connection_churn_leaks_nothing() {
     cluster.sim.run_for(Duration::from_secs(2));
     let client_host = cluster.sim.node_ref::<Host>(cluster.clients[0]).unwrap();
     // 16 configured connections; allow the transient during recycling.
-    assert!(client_host.live_conns() <= 2 * 16, "client leaked connections");
+    assert!(
+        client_host.live_conns() <= 2 * 16,
+        "client leaked connections"
+    );
     for &b in &cluster.backends {
         let host = cluster.sim.node_ref::<Host>(b).unwrap();
         assert!(host.live_conns() <= 2 * 16, "backend leaked connections");

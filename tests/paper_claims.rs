@@ -45,7 +45,10 @@ fn ensemble_tracks_rtt_across_step() {
         .filter(|&&(t, _)| t > r.trace.step_at + 200_000_000)
         .map(|&(_, d)| d)
         .collect();
-    assert!(!before.is_empty() && !after.is_empty(), "too few epoch decisions");
+    assert!(
+        !before.is_empty() && !after.is_empty(),
+        "too few epoch decisions"
+    );
     let med = |v: &[u64]| {
         let mut s = v.to_vec();
         s.sort_unstable();
@@ -67,7 +70,11 @@ fn fixed_timeout_failure_modes() {
     let trace = experiments::fig2::capture_trace(&cfg);
     let low = replay_fixed(&trace.arrivals, 64_000);
     let high = replay_fixed(&trace.arrivals, 1_024_000);
-    let truth_pre = trace.truth.iter().filter(|&&(t, _)| t < trace.step_at).count();
+    let truth_pre = trace
+        .truth
+        .iter()
+        .filter(|&&(t, _)| t < trace.step_at)
+        .count();
     let low_pre = low.iter().filter(|&&(t, _)| t < trace.step_at).count();
     let high_pre = high.iter().filter(|&&(t, _)| t < trace.step_at).count();
     assert!(
@@ -80,14 +87,21 @@ fn fixed_timeout_failure_modes() {
     );
     // And the low-timeout estimates are erroneously low.
     let low_med = {
-        let mut v: Vec<u64> =
-            low.iter().filter(|&&(t, _)| t < trace.step_at).map(|&(_, s)| s).collect();
+        let mut v: Vec<u64> = low
+            .iter()
+            .filter(|&&(t, _)| t < trace.step_at)
+            .map(|&(_, s)| s)
+            .collect();
         v.sort_unstable();
         v[v.len() / 2]
     };
     let truth_med = {
-        let mut v: Vec<u64> =
-            trace.truth.iter().filter(|&&(t, _)| t < trace.step_at).map(|&(_, s)| s).collect();
+        let mut v: Vec<u64> = trace
+            .truth
+            .iter()
+            .filter(|&&(t, _)| t < trace.step_at)
+            .map(|&(_, s)| s)
+            .collect();
         v.sort_unstable();
         v[v.len() / 2]
     };

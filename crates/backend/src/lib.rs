@@ -22,5 +22,5 @@
 pub mod server;
 pub mod service;
 
-pub use server::{KvServerApp, KvServerConfig, KvServerStats, OobAgent};
+pub use server::{KvServerApp, KvServerConfig, KvServerStats, OobAgent, StallWindow};
 pub use service::{DelaySchedule, InterferenceConfig, ServiceDist, ServiceModel};

@@ -30,6 +30,20 @@ pub struct OobAgent {
     pub period: Duration,
 }
 
+/// A scripted stall window: during `[from, until)` the server keeps
+/// accepting requests — TCP ACKs flow, connections stay established —
+/// but serves no responses (the computed response is discarded and
+/// counted in [`KvServerStats::stalled`]). Models a wedged application
+/// on a live host: the fault a liveness probe misses and silence-based
+/// in-band detection catches.
+#[derive(Debug, Clone, Copy)]
+pub struct StallWindow {
+    /// Stall start (simulation time).
+    pub from: Duration,
+    /// Stall end (simulation time, exclusive).
+    pub until: Duration,
+}
+
 /// Server configuration.
 #[derive(Debug, Clone)]
 pub struct KvServerConfig {
@@ -48,6 +62,8 @@ pub struct KvServerConfig {
     pub default_value_len: u32,
     /// Optional out-of-band reporting agent.
     pub report: Option<OobAgent>,
+    /// Optional scripted stall window (wedged-application fault).
+    pub stall: Option<StallWindow>,
     /// RNG seed.
     pub seed: u64,
 }
@@ -65,6 +81,7 @@ impl Default for KvServerConfig {
             delay_schedule: DelaySchedule::none(),
             default_value_len: 64,
             report: None,
+            stall: None,
             seed: 0,
         }
     }
@@ -85,6 +102,8 @@ pub struct KvServerStats {
     pub pauses: u64,
     /// Out-of-band reports sent.
     pub reports_sent: u64,
+    /// Responses discarded inside a stall window.
+    pub stalled: u64,
 }
 
 /// The key-value server application. One instance per backend host.
@@ -245,6 +264,13 @@ impl App for KvServerApp {
         let Some((conn, resp)) = self.pending.remove(&token) else {
             return;
         };
+        if let Some(w) = self.cfg.stall {
+            let now = io.now().as_nanos();
+            if now >= w.from.as_nanos() && now < w.until.as_nanos() {
+                self.stats.stalled += 1;
+                return;
+            }
+        }
         if self.decoders.contains_key(&conn) {
             io.send(conn, &resp.encode());
         } else {
@@ -314,6 +340,15 @@ mod tests {
         cfg: KvServerConfig,
         requests: Vec<KvMessage>,
     ) -> (Vec<(u64, Nanos)>, KvServerStats) {
+        let (lat, stats, done) = run_script_raw(cfg, requests);
+        assert!(done, "client did not finish");
+        (lat, stats)
+    }
+
+    fn run_script_raw(
+        cfg: KvServerConfig,
+        requests: Vec<KvMessage>,
+    ) -> (Vec<(u64, Nanos)>, KvServerStats, bool) {
         let mut sim = Simulation::new();
         let c = sim.reserve_node("client");
         let s = sim.reserve_node("server");
@@ -340,10 +375,9 @@ mod tests {
         sim.run_for(Duration::from_secs(30));
         let host = sim.node_ref::<Host>(c).unwrap();
         let app = host.app_ref::<ScriptClient>().unwrap();
-        assert!(app.done, "client did not finish");
         let server = sim.node_ref::<Host>(s).unwrap();
         let stats = server.app_ref::<KvServerApp>().unwrap().stats;
-        (app.latencies.clone(), stats)
+        (app.latencies.clone(), stats, app.done)
     }
 
     #[test]
@@ -417,6 +451,44 @@ mod tests {
             "injected delay missing: {}",
             lat[0].1
         );
+    }
+
+    #[test]
+    fn stall_window_accepts_but_never_answers() {
+        // The wedged-application fault: TCP stays up, requests are parsed
+        // and "processed", yet no response ever leaves the host.
+        let cfg = KvServerConfig {
+            service: ServiceDist::Constant(50_000),
+            workers: 4,
+            stall: Some(StallWindow {
+                from: Duration::from_millis(0),
+                until: Duration::from_secs(60),
+            }),
+            ..KvServerConfig::default()
+        };
+        let reqs: Vec<KvMessage> = (0..3).map(|i| KvMessage::get(i, i)).collect();
+        let (lat, stats, done) = run_script_raw(cfg, reqs);
+        assert!(!done, "client must starve during the stall");
+        assert!(lat.is_empty(), "no responses during the stall");
+        assert_eq!(stats.gets, 3, "requests were accepted and processed");
+        assert_eq!(stats.stalled, 3, "every response withheld");
+    }
+
+    #[test]
+    fn stall_window_end_restores_service() {
+        // Requests landing after `until` are answered normally.
+        let cfg = KvServerConfig {
+            service: ServiceDist::Constant(50_000),
+            workers: 4,
+            stall: Some(StallWindow {
+                from: Duration::from_millis(0),
+                until: Duration::from_micros(1),
+            }),
+            ..KvServerConfig::default()
+        };
+        let (lat, stats) = run_script(cfg, vec![KvMessage::get(1, 1)]);
+        assert_eq!(lat.len(), 1);
+        assert_eq!(stats.stalled, 0);
     }
 
     #[test]

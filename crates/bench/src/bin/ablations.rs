@@ -1,10 +1,11 @@
 //! Runs the ablation suite.
 //!
 //! Usage: `cargo run -p bench --release --bin ablations [which]`
-//! where `which` ∈ {epoch, k, alpha, timing, controllers, herd, all}
-//! (default: all).
+//! where `which` ∈ {epoch, k, alpha, timing, controllers, herd, chaos,
+//! all} (default: all).
 
 use experiments::ablations;
+use experiments::chaos::{chaos_summary_table, chaos_table, run_chaos, ChaosConfig};
 use experiments::fig2::Fig2Config;
 use experiments::fig3::Fig3Config;
 
@@ -27,6 +28,12 @@ fn main() {
     let run_pcc = || ablations::pcc(&fig3).print();
     let run_failover = || ablations::failover(&fig3).print();
     let run_oob = || ablations::oob_comparison(&fig3).print();
+    let run_chaos = || {
+        let r = run_chaos(&ChaosConfig::default());
+        chaos_table(&r).print();
+        println!();
+        chaos_summary_table(&r).print();
+    };
 
     match which {
         "epoch" => run_epoch(),
@@ -38,6 +45,7 @@ fn main() {
         "pcc" => run_pcc(),
         "failover" => run_failover(),
         "oob" => run_oob(),
+        "chaos" => run_chaos(),
         "timing" => run_timing(),
         "controllers" => run_ctl(),
         "herd" => run_herd(),
@@ -67,11 +75,13 @@ fn main() {
             println!();
             run_oob();
             println!();
+            run_chaos();
+            println!();
             run_herd();
         }
         other => {
             eprintln!(
-                "unknown ablation '{other}'; use epoch|k|alpha|margin|timing|controllers|cliff|far|congestion|pcc|failover|oob|herd|all"
+                "unknown ablation '{other}'; use epoch|k|alpha|margin|timing|controllers|cliff|far|congestion|pcc|failover|oob|chaos|herd|all"
             );
             std::process::exit(2);
         }

@@ -17,6 +17,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod config;
 pub mod fig2;
 pub mod fig3;

@@ -7,7 +7,8 @@ use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
 use telemetry::ScalarSeries;
 
 use lbcore::{
-    BackendEstimator, Controller, EnsembleConfig, EnsembleTimeout, FlowTable, MaglevTable, Weights,
+    BackendEstimator, Controller, EnsembleConfig, EnsembleTimeout, FlowTable, HealthConfig,
+    HealthState, HealthTracker, MaglevTable, Weights,
 };
 
 /// How new connections are assigned to backends.
@@ -90,6 +91,12 @@ pub struct LbConfig {
     /// offline analysis; beyond this, samples still feed the estimators
     /// but are not logged.
     pub sample_log_limit: usize,
+    /// Backend health tracking (crash/stall ejection). Only active in
+    /// in-band [`MeasureMode::Control`] with [`RoutingPolicy::WeightedMaglev`]:
+    /// the detector's "offered traffic but producing no samples" signal
+    /// needs the in-band measurement path, and ejection acts by zeroing
+    /// table weights. `None` disables health tracking entirely.
+    pub health: Option<HealthConfig>,
 }
 
 impl LbConfig {
@@ -122,6 +129,7 @@ impl LbConfig {
             flow_table_capacity: 1 << 20,
             sweep_interval: Duration::from_secs(1),
             sample_log_limit: 1 << 20,
+            health: Some(HealthConfig::default()),
         }
     }
 
@@ -164,6 +172,18 @@ pub struct LbStats {
     pub oob_reports: u64,
     /// Maglev table rebuilds triggered by the controller.
     pub table_rebuilds: u64,
+    /// Packets dropped because every backend was ejected (drop-with-counter
+    /// beats blackholing into a known-dead pin).
+    pub no_backend_drops: u64,
+    /// Backends ejected by the health tracker (cumulative).
+    pub ejections: u64,
+    /// Backends readmitted after probation (cumulative).
+    pub readmissions: u64,
+    /// Flow-table entries migrated off an ejected backend.
+    pub flows_repinned: u64,
+    /// SYN retransmissions into a pin that never produced data — treated
+    /// as RTO-abort evidence against the pinned backend.
+    pub abort_signals: u64,
 }
 
 /// A raw logged sample.
@@ -184,6 +204,7 @@ pub struct LoggedSample {
 }
 
 const SWEEP_TOKEN: TimerToken = TimerToken(1);
+const HEALTH_TOKEN: TimerToken = TimerToken(2);
 
 /// The load-balancer node. See the crate docs.
 pub struct LbNode {
@@ -205,6 +226,27 @@ pub struct LbNode {
     samples: Vec<LoggedSample>,
     /// Weight of each backend over time (one series per backend).
     weight_series: Vec<ScalarSeries>,
+    /// Health state machine (None when disabled; see [`LbConfig::health`]).
+    health: Option<HealthTracker>,
+    /// Cumulative packets forwarded per backend — the "offered traffic"
+    /// input to the health tracker.
+    fwd_per_backend: Vec<u64>,
+    /// Cumulative *credible* `T_LB` samples per backend — samples at or
+    /// below [`HealthConfig::sample_ceiling`]. A dead backend's RTO
+    /// retransmission bursts still produce batch-gap samples (valued at
+    /// the backoff interval), which must not count as liveness evidence.
+    live_samples: Vec<u64>,
+    /// Which backends are currently ejected (mirrors the tracker; kept
+    /// separately so the fast path and controller never touch it).
+    ejected: Vec<bool>,
+    /// Routing class per backend at the last rebuild: 0 = full weight
+    /// (Healthy/Suspect), 1 = probe trickle (Probation), 2 = zero
+    /// (Ejected). A health transition only forces a table rebuild when
+    /// this vector changes — Healthy↔Suspect churn is free.
+    route_class: Vec<u8>,
+    /// True while every backend is ejected: the fast path drops packets
+    /// (with a counter) instead of forwarding into dead pins.
+    no_backend: bool,
     /// Counters.
     pub stats: LbStats,
 }
@@ -233,6 +275,19 @@ impl LbNode {
         if let Some(h) = cfg.signal_horizon {
             estimator = estimator.with_signal_horizon(h.as_nanos());
         }
+        // Health tracking needs the in-band sample stream (the silence
+        // signal) and a weighted table to act on; out-of-band variants may
+        // report slower than the silence window and would false-eject.
+        let health = match cfg.health {
+            Some(h)
+                if cfg.mode == MeasureMode::Control
+                    && cfg.policy == RoutingPolicy::WeightedMaglev
+                    && cfg.inband =>
+            {
+                Some(HealthTracker::new(n, h))
+            }
+            _ => None,
+        };
         LbNode {
             cfg,
             backend_links,
@@ -244,6 +299,12 @@ impl LbNode {
             estimator,
             samples: Vec::new(),
             weight_series: (0..n).map(|_| ScalarSeries::new()).collect(),
+            health,
+            fwd_per_backend: vec![0; n],
+            live_samples: vec![0; n],
+            ejected: vec![false; n],
+            route_class: vec![0; n],
+            no_backend: false,
             stats: LbStats::default(),
         }
     }
@@ -276,6 +337,11 @@ impl LbNode {
     /// Live flow-table entries.
     pub fn flow_count(&self) -> usize {
         self.flows.len()
+    }
+
+    /// The health tracker, when enabled.
+    pub fn health(&self) -> Option<&HealthTracker> {
+        self.health.as_ref()
     }
 
     fn record_weights(&mut self, now: Time) {
@@ -328,6 +394,12 @@ impl LbNode {
             self.stats.dropped += 1;
             return;
         }
+        if self.no_backend {
+            // Every backend ejected: any forwarding choice is a dead pin.
+            self.stats.no_backend_drops += 1;
+            self.stats.dropped += 1;
+            return;
+        }
         let now = ctx.now();
         let now_ns = now.as_nanos();
         let measuring = self.cfg.mode != MeasureMode::Off && self.cfg.inband;
@@ -344,7 +416,18 @@ impl LbNode {
         // port before the idle sweep ran), it must not contribute its old
         // timing anchors or backend pin to the new connection.
         if flags.is_syn_only() {
-            self.flows.remove(&key);
+            if let Some(stale) = self.flows.remove(&key) {
+                // A SYN under a pin that never carried data is the client
+                // retrying a handshake the backend never answered — an
+                // RTO-abort signal against that backend (handshake ACKs
+                // bump `packets`, so a served pin never matches).
+                if stale.packets == 0 {
+                    self.stats.abort_signals += 1;
+                    if let Some(h) = self.health.as_mut() {
+                        h.record_abort(stale.backend);
+                    }
+                }
+            }
         }
         let backend = if let Some(entry) = self.flows.get_mut(&key) {
             entry.last_seen = now_ns;
@@ -360,6 +443,11 @@ impl LbNode {
             if measuring {
                 if let Some(t_lb) = self.ensembles[backend].on_packet(&mut entry.timing, now_ns) {
                     self.stats.samples += 1;
+                    if let Some(h) = &self.health {
+                        if t_lb <= h.config().sample_ceiling {
+                            self.live_samples[backend] += 1;
+                        }
+                    }
                     self.estimator.record(backend, t_lb, now_ns);
                     if self.samples.len() < self.cfg.sample_log_limit {
                         self.samples.push(LoggedSample {
@@ -396,6 +484,7 @@ impl LbNode {
         // DSR forwarding: L2 rewrite only; the VIP stays in the IP header.
         let fwd = pkt.with_macs(self.mac, self.backend_mac(backend));
         self.stats.forwarded += 1;
+        self.fwd_per_backend[backend] += 1;
         ctx.send(self.backend_links[backend], fwd);
     }
 
@@ -432,15 +521,101 @@ impl LbNode {
         if self.cfg.policy == RoutingPolicy::PowerOfTwo {
             return; // p2c consumes estimates directly; no table to reshape
         }
+        if self.no_backend {
+            return; // nothing to shape until a backend is readmitted
+        }
         let changed =
             self.cfg
                 .controller
                 .maybe_update(now.as_nanos(), &self.estimator, &mut self.weights);
         if changed {
+            if self.ejected.iter().any(|&e| e) {
+                // Controllers redistribute by spreading mass over *all*
+                // backends, which leaks weight back onto ejected ones;
+                // re-apply the mask before rebuilding.
+                let raw = self.weights.as_slice().to_vec();
+                let mask = self.ejected.clone();
+                let _ = self.weights.set_with_ejections(&raw, &mask);
+            }
             self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
             self.stats.table_rebuilds += 1;
             self.record_weights(now);
         }
+    }
+
+    /// One health epoch: feed the tracker the cumulative sample/forward
+    /// counters, and when a backend's routing class changed (ejection,
+    /// probation, readmission) rebuild the table and migrate pinned flows.
+    fn health_epoch(&mut self, now: Time) {
+        let Some(tracker) = self.health.as_mut() else {
+            return;
+        };
+        let n = self.cfg.backends.len();
+        let changed = tracker.on_epoch(now.as_nanos(), &self.live_samples, &self.fwd_per_backend);
+        self.stats.ejections = tracker.ejections();
+        self.stats.readmissions = tracker.readmissions();
+        if !changed {
+            return;
+        }
+        let states: Vec<HealthState> = (0..n).map(|b| tracker.state(b)).collect();
+        let classes: Vec<u8> = states
+            .iter()
+            .map(|s| match s {
+                HealthState::Healthy | HealthState::Suspect => 0,
+                HealthState::Probation => 1,
+                HealthState::Ejected => 2,
+            })
+            .collect();
+        if classes == self.route_class {
+            return; // Healthy↔Suspect churn: no routing consequence
+        }
+        let raw: Vec<f64> = states
+            .iter()
+            .enumerate()
+            .map(|(b, s)| match s {
+                HealthState::Ejected => 0.0,
+                // Probation earns only the floor: enough traffic to elicit
+                // samples, little enough to contain a still-dead backend.
+                HealthState::Probation => self.cfg.weight_floor,
+                // A readmission restores the neutral share; margin-based
+                // controllers would otherwise leave the recovered backend
+                // parked at the probation floor indefinitely.
+                _ if self.route_class[b] != 0 => 1.0 / n as f64,
+                _ => self.weights.get(b).max(self.cfg.weight_floor),
+            })
+            .collect();
+        let mask: Vec<bool> = states.iter().map(|s| *s == HealthState::Ejected).collect();
+        self.route_class = classes;
+        self.ejected = mask.clone();
+        if !self.weights.set_with_ejections(&raw, &mask) {
+            // Every backend ejected: weights untouched, table kept, the
+            // fast path drops with a counter until probation reopens one.
+            self.no_backend = true;
+            self.record_weights(now);
+            return;
+        }
+        self.no_backend = false;
+        self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
+        self.stats.table_rebuilds += 1;
+        // Migrate pinned flows off ejected backends. The new backend will
+        // RST mid-stream connections, forcing a fast client reconnect —
+        // strictly better than silently blackholing into the dead pin.
+        let now_ns = now.as_nanos();
+        let table = &self.table;
+        let ensembles = &mut self.ensembles;
+        let mut moved = 0usize;
+        for (b, ejected) in mask.iter().enumerate() {
+            if !ejected {
+                continue;
+            }
+            moved += self.flows.repin_backend(b, |key, entry| {
+                let nb = table.lookup(key.stable_hash());
+                entry.backend = nb;
+                entry.timing = ensembles[nb].new_flow(now_ns);
+            });
+        }
+        self.stats.flows_repinned += moved as u64;
+        self.record_weights(now);
     }
 }
 
@@ -448,6 +623,9 @@ impl Node for LbNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
         self.record_weights(ctx.now());
         ctx.arm_timer(self.cfg.sweep_interval, SWEEP_TOKEN);
+        if let Some(h) = &self.health {
+            ctx.arm_timer(Duration::from_nanos(h.config().epoch), HEALTH_TOKEN);
+        }
     }
 
     fn on_packet(&mut self, ctx: &mut Ctx<'_>, _link: LinkId, pkt: Packet) {
@@ -455,9 +633,19 @@ impl Node for LbNode {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: TimerToken) {
-        debug_assert_eq!(token, SWEEP_TOKEN);
-        self.flows.sweep(ctx.now().as_nanos());
-        ctx.arm_timer(self.cfg.sweep_interval, SWEEP_TOKEN);
+        match token {
+            SWEEP_TOKEN => {
+                self.flows.sweep(ctx.now().as_nanos());
+                ctx.arm_timer(self.cfg.sweep_interval, SWEEP_TOKEN);
+            }
+            HEALTH_TOKEN => {
+                self.health_epoch(ctx.now());
+                if let Some(h) = &self.health {
+                    ctx.arm_timer(Duration::from_nanos(h.config().epoch), HEALTH_TOKEN);
+                }
+            }
+            _ => debug_assert!(false, "unknown LB timer token {token:?}"),
+        }
     }
 }
 

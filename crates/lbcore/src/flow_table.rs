@@ -43,6 +43,8 @@ pub struct FlowTableStats {
     /// §2.4's volumetric-attack concern — must not grow LB memory
     /// without bound).
     pub evicted: u64,
+    /// Entries migrated to a different backend by health ejection.
+    pub repinned: u64,
 }
 
 /// The LB's connection table.
@@ -179,6 +181,27 @@ impl FlowTable {
         let removed = before - self.entries.len();
         self.stats.expired += removed as u64;
         removed
+    }
+
+    /// Applies `f`, in key order, to every entry pinned to backend `from`
+    /// (health ejection: the caller re-pins `entry.backend` to a survivor
+    /// and resets the entry's timing state so affinity entries are
+    /// migrated instead of blackholing their flows). Returns how many
+    /// entries matched.
+    pub fn repin_backend(
+        &mut self,
+        from: usize,
+        mut f: impl FnMut(&FlowKey, &mut FlowEntry),
+    ) -> usize {
+        let mut matched = 0usize;
+        for (k, e) in self.entries.iter_mut() {
+            if e.backend == from {
+                f(k, e);
+                matched += 1;
+            }
+        }
+        self.stats.repinned += matched as u64;
+        matched
     }
 
     /// Number of live flows pinned to each of `n` backends (diagnostics).

@@ -40,6 +40,7 @@ pub mod ensemble;
 pub mod estimator;
 pub mod fixed_timeout;
 pub mod flow_table;
+pub mod health;
 pub mod maglev;
 pub mod weights;
 
@@ -48,6 +49,7 @@ pub use ensemble::{EnsembleConfig, EnsembleFlowState, EnsembleTimeout};
 pub use estimator::BackendEstimator;
 pub use fixed_timeout::{FixedTimeout, FlowTiming};
 pub use flow_table::{FlowEntry, FlowTable};
+pub use health::{HealthConfig, HealthState, HealthTracker};
 pub use maglev::MaglevTable;
 pub use weights::Weights;
 

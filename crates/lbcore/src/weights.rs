@@ -78,17 +78,21 @@ impl Weights {
     /// Replaces the shares with the normalization of `new`, then enforces
     /// the floor by water-filling: backends that would fall below the floor
     /// are pinned to it and the remaining mass is split proportionally
-    /// among the rest.
+    /// among the rest. An all-zero input degrades to equal shares rather
+    /// than dividing by zero (the caller has no signal to apportion by).
     pub fn set(&mut self, new: &[f64]) {
         assert_eq!(new.len(), self.w.len(), "backend count mismatch");
         assert!(
             new.iter().all(|&x| x.is_finite() && x >= 0.0),
             "weights must be finite and >= 0"
         );
+        let n = new.len();
         let total: f64 = new.iter().sum();
-        assert!(total > 0.0, "at least one positive weight required");
-        let raw: Vec<f64> = new.iter().map(|&x| x / total).collect();
-        let n = raw.len();
+        let raw: Vec<f64> = if total > 0.0 {
+            new.iter().map(|&x| x / total).collect()
+        } else {
+            vec![1.0 / n as f64; n]
+        };
         let mut pinned = vec![false; n];
         loop {
             let pinned_count = pinned.iter().filter(|&&p| p).count();
@@ -125,6 +129,98 @@ impl Weights {
             }
             if !newly_pinned {
                 return;
+            }
+        }
+    }
+
+    /// Ejection-aware renormalization: replaces the shares with the
+    /// normalization of `new` over the surviving (non-ejected) backends,
+    /// water-filling the floor among survivors. Ejected backends are
+    /// pinned to exactly **zero** — unlike the floor, which exists to keep
+    /// live backends measurable, an ejected backend must receive no new
+    /// connections at all.
+    ///
+    /// Edge cases: a single survivor takes the whole share (1.0); when
+    /// *every* backend is ejected the method returns `false` and leaves
+    /// the shares untouched — the caller must stop admitting traffic
+    /// (drop-with-counter) instead of dividing by zero.
+    pub fn set_with_ejections(&mut self, new: &[f64], ejected: &[bool]) -> bool {
+        assert_eq!(new.len(), self.w.len(), "backend count mismatch");
+        assert_eq!(ejected.len(), self.w.len(), "mask length mismatch");
+        assert!(
+            new.iter().all(|&x| x.is_finite() && x >= 0.0),
+            "weights must be finite and >= 0"
+        );
+        let n = self.w.len();
+        let m = n - ejected.iter().filter(|&&e| e).count();
+        if m == 0 {
+            return false;
+        }
+        if m == n {
+            self.set(new);
+            return true;
+        }
+        // Normalize over survivors; if they carry no mass, split equally.
+        let total: f64 = new
+            .iter()
+            .zip(ejected)
+            .filter(|(_, &e)| !e)
+            .map(|(x, _)| x)
+            .sum();
+        let raw: Vec<f64> = new
+            .iter()
+            .zip(ejected)
+            .map(|(&x, &e)| {
+                if e {
+                    0.0
+                } else if total > 0.0 {
+                    x / total
+                } else {
+                    1.0 / m as f64
+                }
+            })
+            .collect();
+        // Water-fill the floor among survivors only. Feasible because
+        // floor * m <= floor * n <= 1 (checked at construction).
+        let mut pinned = vec![false; n];
+        loop {
+            let pinned_count = pinned.iter().filter(|&&p| p).count();
+            if pinned_count == m {
+                let each = 1.0 / m as f64;
+                for (w, &e) in self.w.iter_mut().zip(ejected) {
+                    *w = if e { 0.0 } else { each };
+                }
+                return true;
+            }
+            let mass = 1.0 - pinned_count as f64 * self.floor;
+            let unpinned_sum: f64 = (0..n)
+                .filter(|&i| !ejected[i] && !pinned[i])
+                .map(|i| raw[i])
+                .sum();
+            let mut newly_pinned = false;
+            for i in 0..n {
+                if ejected[i] {
+                    self.w[i] = 0.0;
+                    continue;
+                }
+                if pinned[i] {
+                    self.w[i] = self.floor;
+                    continue;
+                }
+                let candidate = if unpinned_sum > 0.0 {
+                    raw[i] * mass / unpinned_sum
+                } else {
+                    mass / (m - pinned_count) as f64
+                };
+                if candidate < self.floor {
+                    pinned[i] = true;
+                    newly_pinned = true;
+                } else {
+                    self.w[i] = candidate;
+                }
+            }
+            if !newly_pinned {
+                return true;
             }
         }
     }
@@ -259,5 +355,63 @@ mod tests {
     #[should_panic(expected = "infeasible")]
     fn infeasible_floor_rejected() {
         let _ = Weights::equal(3, 0.5);
+    }
+
+    #[test]
+    fn set_all_zero_degrades_to_equal_shares() {
+        let mut w = Weights::equal(3, 0.02);
+        w.set(&[0.7, 0.2, 0.1]);
+        w.set(&[0.0, 0.0, 0.0]);
+        for i in 0..3 {
+            assert!((w.get(i) - 1.0 / 3.0).abs() < 1e-9, "w[{i}] = {}", w.get(i));
+        }
+    }
+
+    #[test]
+    fn ejection_zeroes_and_renormalizes_survivors() {
+        let mut w = Weights::equal(4, 0.02);
+        assert!(w.set_with_ejections(&[3.0, 1.0, 2.0, 2.0], &[false, true, false, true]));
+        assert_eq!(w.get(1).to_bits(), 0.0f64.to_bits());
+        assert_eq!(w.get(3).to_bits(), 0.0f64.to_bits());
+        assert!((w.get(0) - 0.6).abs() < 1e-9);
+        assert!((w.get(2) - 0.4).abs() < 1e-9);
+        assert!((sum(&w) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_survivor_takes_the_whole_share() {
+        let mut w = Weights::equal(3, 0.02);
+        assert!(w.set_with_ejections(&[0.0, 5.0, 0.0], &[true, false, true]));
+        assert!((w.get(1) - 1.0).abs() < 1e-12);
+        assert_eq!(w.get(0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(w.get(2).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn all_ejected_refuses_and_preserves_shares() {
+        let mut w = Weights::equal(2, 0.02);
+        w.set(&[3.0, 1.0]);
+        let before = w.clone();
+        assert!(!w.set_with_ejections(&[3.0, 1.0], &[true, true]));
+        assert!(w.max_diff(&before) < 1e-12);
+    }
+
+    #[test]
+    fn survivors_with_zero_mass_split_equally() {
+        let mut w = Weights::equal(3, 0.02);
+        assert!(w.set_with_ejections(&[0.0, 0.0, 7.0], &[false, false, true]));
+        assert!((w.get(0) - 0.5).abs() < 1e-9);
+        assert!((w.get(1) - 0.5).abs() < 1e-9);
+        assert_eq!(w.get(2).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn ejection_respects_floor_among_survivors() {
+        let mut w = Weights::equal(4, 0.05);
+        assert!(w.set_with_ejections(&[100.0, 0.001, 50.0, 1.0], &[false, false, true, false]));
+        assert_eq!(w.get(2).to_bits(), 0.0f64.to_bits());
+        assert!(w.get(1) >= 0.05 - 1e-12, "floored: {}", w.get(1));
+        assert!(w.get(3) >= 0.05 - 1e-12, "floored: {}", w.get(3));
+        assert!((sum(&w) - 1.0).abs() < 1e-9);
     }
 }

@@ -1,10 +1,99 @@
 //! Property-based tests for the paper's algorithms and their
 //! infrastructure.
 
+use std::net::Ipv4Addr;
+
 use proptest::prelude::*;
 
+use netpkt::FlowKey;
+
 use lbcore::ensemble::{CliffRule, EnsembleConfig};
-use lbcore::{EnsembleTimeout, FixedTimeout, FlowTiming, MaglevTable, Weights};
+use lbcore::{EnsembleTimeout, FixedTimeout, FlowTable, FlowTiming, MaglevTable, Weights};
+
+/// A scripted flow-table operation (the proptest alphabet).
+#[derive(Debug, Clone, Copy)]
+enum FlowOp {
+    /// Insert `port`'s flow pinned to `backend`.
+    Insert { port: u16, backend: usize },
+    /// Touch `port`'s flow (bump `last_seen`/`packets` if present).
+    Touch { port: u16 },
+    /// Remove `port`'s flow (FIN/RST path).
+    Remove { port: u16 },
+    /// Run the idle sweep.
+    Sweep,
+}
+
+/// Weighted op mix (4:3:1:1 insert:touch:remove:sweep), expressed as a
+/// `prop_map` over a selector because the vendored proptest stub has no
+/// `prop_oneof!`.
+fn flow_op() -> impl Strategy<Value = FlowOp> {
+    (0u8..9, 1u16..64, 0usize..4).prop_map(|(sel, port, backend)| match sel {
+        0..=3 => FlowOp::Insert { port, backend },
+        4..=6 => FlowOp::Touch { port },
+        7 => FlowOp::Remove { port },
+        _ => FlowOp::Sweep,
+    })
+}
+
+fn flow_key(port: u16) -> FlowKey {
+    FlowKey::new(
+        Ipv4Addr::new(10, 0, 0, 1),
+        port,
+        Ipv4Addr::new(10, 9, 9, 9),
+        11211,
+    )
+}
+
+fn fresh_timing() -> lbcore::EnsembleFlowState {
+    EnsembleTimeout::new(EnsembleConfig::default()).new_flow(0)
+}
+
+/// Replays an op script against a fresh table; each op advances time by
+/// one millisecond. Returns the table plus a shadow model of which port
+/// is pinned to which backend.
+fn replay_flow_ops(ops: &[FlowOp], capacity: usize) -> (FlowTable, Vec<Option<usize>>) {
+    const MS: u64 = 1_000_000;
+    let idle = 40 * MS;
+    let mut t = FlowTable::with_capacity(idle, capacity);
+    let mut model: Vec<Option<usize>> = vec![None; 64];
+    let mut last_touch: Vec<u64> = vec![0; 64];
+    let mut now = 0u64;
+    for op in ops {
+        now += MS;
+        match *op {
+            FlowOp::Insert { port, backend } => {
+                // Re-insert of a live key keeps the original pin (tested
+                // separately) but still counts as traffic on the flow.
+                if model[port as usize].is_none() {
+                    model[port as usize] = Some(backend);
+                }
+                last_touch[port as usize] = now;
+                let e = t.insert(flow_key(port), backend, fresh_timing(), now);
+                e.last_seen = now;
+            }
+            FlowOp::Touch { port } => {
+                if let Some(e) = t.get_mut(&flow_key(port)) {
+                    e.last_seen = now;
+                    e.packets += 1;
+                    last_touch[port as usize] = now;
+                }
+            }
+            FlowOp::Remove { port } => {
+                t.remove(&flow_key(port));
+                model[port as usize] = None;
+            }
+            FlowOp::Sweep => {
+                t.sweep(now);
+                for p in 0..64 {
+                    if model[p].is_some() && now.saturating_sub(last_touch[p]) > idle {
+                        model[p] = None;
+                    }
+                }
+            }
+        }
+    }
+    (t, model)
+}
 
 /// Strictly increasing arrival times from positive gaps.
 fn arrivals_from_gaps(gaps: &[u64]) -> Vec<u64> {
@@ -168,6 +257,92 @@ proptest! {
             prop_assert!((sum - 1.0).abs() < 1e-6, "sum drifted to {}", sum);
             for j in 0..n {
                 prop_assert!(w.get(j) >= floor - 1e-9, "entry {} below floor: {}", j, w.get(j));
+            }
+        }
+    }
+
+    /// Flow-table affinity invariant: under arbitrary insert/touch/
+    /// remove/sweep sequences that never approach capacity, every flow
+    /// the shadow model says is live is present and still pinned to the
+    /// backend of its *first* insert (affinity never silently changes),
+    /// and no removed/expired flow lingers.
+    #[test]
+    fn flow_table_affinity_under_random_ops(
+        ops in proptest::collection::vec(flow_op(), 1..120),
+    ) {
+        // Capacity 128 > 64 possible ports: eviction can never fire, so
+        // the shadow model is exact.
+        let (mut t, model) = replay_flow_ops(&ops, 128);
+        prop_assert_eq!(t.stats.evicted, 0);
+        for port in 1u16..64 {
+            match (model[port as usize], t.get_mut(&flow_key(port))) {
+                (Some(backend), Some(e)) => prop_assert_eq!(
+                    e.backend, backend,
+                    "port {} affinity moved", port
+                ),
+                (None, None) => {}
+                (Some(_), None) => prop_assert!(false, "live flow {} lost", port),
+                (None, Some(_)) => prop_assert!(false, "dead flow {} lingers", port),
+            }
+        }
+    }
+
+    /// Determinism of the whole table (eviction included): replaying the
+    /// identical op sequence — this time against a small capacity so the
+    /// probe-window eviction path fires — yields identical tables.
+    #[test]
+    fn flow_table_state_is_a_pure_function_of_ops(
+        ops in proptest::collection::vec(flow_op(), 1..120),
+    ) {
+        let (mut a, _) = replay_flow_ops(&ops, 8);
+        let (mut b, _) = replay_flow_ops(&ops, 8);
+        prop_assert_eq!(a.len(), b.len());
+        prop_assert_eq!(a.stats.inserted, b.stats.inserted);
+        prop_assert_eq!(a.stats.evicted, b.stats.evicted);
+        prop_assert_eq!(a.stats.expired, b.stats.expired);
+        for port in 1u16..64 {
+            let ea = a.get_mut(&flow_key(port)).map(|e| (e.backend, e.last_seen, e.packets));
+            let eb = b.get_mut(&flow_key(port)).map(|e| (e.backend, e.last_seen, e.packets));
+            prop_assert_eq!(ea, eb, "tables diverged at port {}", port);
+        }
+    }
+
+    /// Ejection-aware renormalization, for *every* ejection subset of
+    /// arbitrary weight vectors: survivors sum to 1 and respect the
+    /// floor, ejected backends get exactly 0.0, and the all-ejected case
+    /// reports failure without touching the weights — never a panic or
+    /// a division by zero.
+    #[test]
+    fn ejection_renormalization_for_every_subset(
+        raw in proptest::collection::vec(0.0f64..10.0, 2..7),
+    ) {
+        let n = raw.len();
+        let floor = 0.02;
+        for mask_bits in 0u32..(1u32 << n) {
+            let mask: Vec<bool> = (0..n).map(|b| mask_bits & (1 << b) != 0).collect();
+            let mut w = Weights::equal(n, floor);
+            let before: Vec<f64> = w.as_slice().to_vec();
+            let ok = w.set_with_ejections(&raw, &mask);
+            let survivors = mask.iter().filter(|&&e| !e).count();
+            prop_assert_eq!(ok, survivors > 0, "wrong verdict for mask {:?}", mask);
+            if !ok {
+                prop_assert_eq!(w.as_slice(), &before[..], "failed set must not mutate");
+                continue;
+            }
+            let sum: f64 = w.as_slice().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {} for mask {:?}", sum, mask);
+            for b in 0..n {
+                if mask[b] {
+                    prop_assert_eq!(
+                        w.get(b).to_bits(), 0.0f64.to_bits(),
+                        "ejected backend {} kept weight {}", b, w.get(b)
+                    );
+                } else {
+                    prop_assert!(
+                        w.get(b) >= floor - 1e-9,
+                        "survivor {} below floor: {}", b, w.get(b)
+                    );
+                }
             }
         }
     }

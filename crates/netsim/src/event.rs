@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 
 use netpkt::Packet;
 
+use crate::fault::ImpairmentConfig;
 use crate::link::LinkId;
 use crate::node::{NodeId, TimerToken};
 use crate::time::Time;
@@ -38,6 +39,33 @@ pub enum EventKind {
         /// New *additional* propagation delay in nanoseconds (on top of the
         /// link's configured base delay).
         extra_nanos: u64,
+    },
+    /// A scripted node crash (`down = true`) or restart (`down = false`).
+    /// While down, deliveries to the node are dropped and its sends are
+    /// suppressed; timers still fire (see `netsim::fault`).
+    SetNodeDown {
+        /// The node whose liveness changes.
+        node: NodeId,
+        /// New liveness: true = crashed.
+        down: bool,
+    },
+    /// A scripted link flap: while down, both directions drop every
+    /// offered packet.
+    SetLinkDown {
+        /// The link whose state changes.
+        link: LinkId,
+        /// New state: true = down.
+        down: bool,
+    },
+    /// Installs (`Some`) or clears (`None`) a stochastic impairment on one
+    /// direction of a link.
+    SetLinkImpairment {
+        /// The link to modify.
+        link: LinkId,
+        /// Direction: true for the a→b direction, false for b→a.
+        a_to_b: bool,
+        /// The impairment to install, or `None` to heal the direction.
+        cfg: Option<ImpairmentConfig>,
     },
 }
 

@@ -48,6 +48,7 @@
 
 pub mod blaster;
 pub mod event;
+pub mod fault;
 pub mod link;
 pub mod node;
 pub mod rng;
@@ -56,6 +57,7 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use fault::{FaultAction, FaultSchedule, ImpairmentConfig};
 pub use link::{LinkConfig, LinkDirStats, LinkId};
 pub use node::{Ctx, Node, NodeId, TimerToken};
 pub use sim::{SimStats, Simulation};

@@ -1,6 +1,7 @@
 //! Point-to-point full-duplex links with serialization delay, propagation
 //! delay, and a drop-tail transmit queue.
 
+use crate::fault::LinkImpairment;
 use crate::node::NodeId;
 use crate::time::{Duration, Time};
 
@@ -65,6 +66,14 @@ pub struct LinkDirStats {
     pub packets_dropped: u64,
     /// Bytes accepted for transmission.
     pub bytes_sent: u64,
+    /// Packets dropped because the link was scripted down (fault layer).
+    pub packets_dropped_down: u64,
+    /// Packets discarded by the receiver as corrupted frames.
+    pub packets_corrupted: u64,
+    /// Packets delivered twice by the impairment layer.
+    pub packets_duplicated: u64,
+    /// Packets held back by a reordering delay.
+    pub packets_reordered: u64,
 }
 
 /// Dynamic state for one direction of a link.
@@ -77,6 +86,8 @@ pub struct LinkDir {
     /// Extra propagation delay injected by experiments, added to the
     /// configured base delay.
     pub extra_delay: Duration,
+    /// Stochastic impairment installed by the fault layer, if any.
+    pub impairment: Option<LinkImpairment>,
     /// Counters.
     pub stats: LinkDirStats,
 }
@@ -86,6 +97,7 @@ impl LinkDir {
         LinkDir {
             busy_until: Time::ZERO,
             extra_delay: Duration::ZERO,
+            impairment: None,
             stats: LinkDirStats::default(),
         }
     }
@@ -116,6 +128,9 @@ pub struct Link {
     pub b: NodeId,
     /// Configuration shared by both directions.
     pub cfg: LinkConfig,
+    /// True while the link is scripted down (fault layer): every offered
+    /// packet is dropped, in both directions.
+    pub down: bool,
     /// State of the a→b direction.
     pub ab: LinkDir,
     /// State of the b→a direction.
@@ -129,6 +144,7 @@ impl Link {
             a,
             b,
             cfg,
+            down: false,
             ab: LinkDir::new(),
             ba: LinkDir::new(),
         }
@@ -174,6 +190,10 @@ impl Link {
     /// On acceptance, returns the delivery instant at the far end.
     pub fn transmit(&mut self, from: NodeId, bytes: usize, now: Time) -> TxOutcome {
         let cfg = self.cfg;
+        if self.down {
+            self.dir_mut(from).stats.packets_dropped_down += 1;
+            return TxOutcome::Dropped;
+        }
         let dir = self.dir_mut(from);
         if dir.queued_bytes(now, &cfg) + bytes as u64 > cfg.queue_limit_bytes {
             dir.stats.packets_dropped += 1;

@@ -48,6 +48,10 @@ pub trait Node: Any {
 pub struct Ctx<'a> {
     pub(crate) now: Time,
     pub(crate) node: NodeId,
+    /// True while this node is scripted down (fault layer): its sends are
+    /// suppressed. Timer callbacks still run so periodic machinery
+    /// resumes cleanly on restart.
+    pub(crate) node_down: bool,
     pub(crate) queue: &'a mut EventQueue,
     pub(crate) links: &'a mut [Link],
     pub(crate) trace: &'a mut Trace,
@@ -67,18 +71,61 @@ impl Ctx<'_> {
     /// Transmits `pkt` on `link`. The packet is delivered to the peer after
     /// serialization + propagation, or silently dropped if the link's
     /// transmit queue is full (drop counters are kept per link direction).
+    /// A crashed node (fault layer) transmits nothing: its sends surface
+    /// as `Drop` trace events. If the direction carries an impairment,
+    /// per-packet corrupt/duplicate/reorder draws are taken here, in a
+    /// fixed order, from the direction's seeded stream.
     ///
     /// # Panics
     /// Panics if this node is not an endpoint of `link`.
     pub fn send(&mut self, link: LinkId, pkt: Packet) {
+        if self.node_down {
+            self.trace
+                .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+            return;
+        }
         let l = &mut self.links[link.0 as usize];
         let peer = l.peer_of(self.node);
         match l.transmit(self.node, pkt.wire_len(), self.now) {
             TxOutcome::DeliverAt(at) => {
+                let mut deliver_at = at;
+                let mut duplicate = false;
+                let dir = l.dir_mut(self.node);
+                if let Some(imp) = dir.impairment.as_mut() {
+                    // Draw order is fixed (corrupt, duplicate, reorder) so
+                    // the stream replays identically for a fixed seed.
+                    if imp.rng.gen_bool(imp.cfg.corrupt_p) {
+                        // The receiver NIC discards the damaged frame; the
+                        // wire time was still spent.
+                        dir.stats.packets_corrupted += 1;
+                        self.trace
+                            .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+                        return;
+                    }
+                    if imp.rng.gen_bool(imp.cfg.duplicate_p) {
+                        dir.stats.packets_duplicated += 1;
+                        duplicate = true;
+                    }
+                    if imp.rng.gen_bool(imp.cfg.reorder_p) {
+                        let span = imp.cfg.reorder_window.as_nanos().max(1);
+                        deliver_at = at + Duration::from_nanos(imp.rng.gen_range(1..=span));
+                        dir.stats.packets_reordered += 1;
+                    }
+                }
                 self.trace
                     .record(self.now, self.node, TraceKind::Send, link, &pkt);
+                if duplicate {
+                    self.queue.push(
+                        deliver_at,
+                        EventKind::Deliver {
+                            node: peer,
+                            link,
+                            pkt: pkt.clone(),
+                        },
+                    );
+                }
                 self.queue.push(
-                    at,
+                    deliver_at,
                     EventKind::Deliver {
                         node: peer,
                         link,

@@ -3,6 +3,7 @@
 use std::any::Any;
 
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{ImpairmentConfig, LinkImpairment};
 use crate::link::{Link, LinkConfig, LinkId};
 use crate::node::{Ctx, Node, NodeId};
 use crate::time::{Duration, Time};
@@ -26,6 +27,9 @@ pub struct Simulation {
     queue: EventQueue,
     nodes: Vec<Option<Box<dyn Node>>>,
     node_names: Vec<String>,
+    /// Per-node crash flag (fault layer): a down node neither receives
+    /// nor sends, but its timers keep firing.
+    node_down: Vec<bool>,
     links: Vec<Link>,
     trace: Trace,
     stats: SimStats,
@@ -48,6 +52,7 @@ impl Simulation {
             queue: EventQueue::new(),
             nodes: Vec::new(),
             node_names: Vec::new(),
+            node_down: Vec::new(),
             links: Vec::new(),
             trace: Trace::new(),
             stats: SimStats::default(),
@@ -61,6 +66,7 @@ impl Simulation {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(node));
         self.node_names.push(name.into());
+        self.node_down.push(false);
         id
     }
 
@@ -70,6 +76,7 @@ impl Simulation {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(None);
         self.node_names.push(name.into());
+        self.node_down.push(false);
         id
     }
 
@@ -127,14 +134,7 @@ impl Simulation {
     /// of the affected direction. This is the mechanism experiments use to
     /// inject server-path latency mid-run.
     pub fn schedule_extra_delay(&mut self, at: Time, link: LinkId, from: NodeId, extra: Duration) {
-        let l = &self.links[link.0 as usize];
-        let a_to_b = if from == l.a {
-            true
-        } else if from == l.b {
-            false
-        } else {
-            panic!("node {from} is not an endpoint of {link}");
-        };
+        let a_to_b = self.direction_of(link, from);
         self.queue.push(
             at,
             EventKind::SetLinkExtraDelay {
@@ -143,6 +143,60 @@ impl Simulation {
                 extra_nanos: extra.as_nanos(),
             },
         );
+    }
+
+    /// Resolves which direction of `link` has `from` as its transmitter.
+    ///
+    /// # Panics
+    /// Panics if `from` is not an endpoint of `link`.
+    fn direction_of(&self, link: LinkId, from: NodeId) -> bool {
+        let l = &self.links[link.0 as usize];
+        if from == l.a {
+            true
+        } else if from == l.b {
+            false
+        } else {
+            panic!("node {from} is not an endpoint of {link}");
+        }
+    }
+
+    /// Schedules a node crash (`down = true`) or restart at `at`. Prefer
+    /// building a [`crate::fault::FaultSchedule`] over calling this
+    /// directly.
+    pub fn schedule_node_down(&mut self, at: Time, node: NodeId, down: bool) {
+        assert!(
+            (node.0 as usize) < self.nodes.len(),
+            "unknown node {node} in fault schedule"
+        );
+        self.queue.push(at, EventKind::SetNodeDown { node, down });
+    }
+
+    /// Schedules a link flap (`down = true`) or recovery at `at`.
+    pub fn schedule_link_down(&mut self, at: Time, link: LinkId, down: bool) {
+        assert!(
+            (link.0 as usize) < self.links.len(),
+            "unknown link {link} in fault schedule"
+        );
+        self.queue.push(at, EventKind::SetLinkDown { link, down });
+    }
+
+    /// Schedules the installation (`Some`) or removal (`None`) of a
+    /// stochastic impairment on the `from` → peer direction of `link`.
+    pub fn schedule_link_impairment(
+        &mut self,
+        at: Time,
+        link: LinkId,
+        from: NodeId,
+        cfg: Option<ImpairmentConfig>,
+    ) {
+        let a_to_b = self.direction_of(link, from);
+        self.queue
+            .push(at, EventKind::SetLinkImpairment { link, a_to_b, cfg });
+    }
+
+    /// True while `id` is scripted down by the fault layer.
+    pub fn is_node_down(&self, id: NodeId) -> bool {
+        self.node_down[id.0 as usize]
     }
 
     /// Downcasts a node to a concrete type for post-run inspection.
@@ -186,6 +240,7 @@ impl Simulation {
         let mut ctx = Ctx {
             now: self.now,
             node: id,
+            node_down: self.node_down[id.0 as usize],
             queue: &mut self.queue,
             links: &mut self.links,
             trace: &mut self.trace,
@@ -218,6 +273,12 @@ impl Simulation {
             }
             match ev.kind {
                 EventKind::Deliver { node, link, pkt } => {
+                    if self.node_down[node.0 as usize] {
+                        // The receiver is crashed: the frame dies at its NIC.
+                        self.trace
+                            .record(self.now, node, TraceKind::Drop, link, &pkt);
+                        continue;
+                    }
                     self.stats.packets_delivered += 1;
                     self.trace
                         .record(self.now, node, TraceKind::Deliver, link, &pkt);
@@ -235,6 +296,17 @@ impl Simulation {
                     let l = &mut self.links[link.0 as usize];
                     let dir = if a_to_b { &mut l.ab } else { &mut l.ba };
                     dir.extra_delay = Duration::from_nanos(extra_nanos);
+                }
+                EventKind::SetNodeDown { node, down } => {
+                    self.node_down[node.0 as usize] = down;
+                }
+                EventKind::SetLinkDown { link, down } => {
+                    self.links[link.0 as usize].down = down;
+                }
+                EventKind::SetLinkImpairment { link, a_to_b, cfg } => {
+                    let l = &mut self.links[link.0 as usize];
+                    let dir = if a_to_b { &mut l.ab } else { &mut l.ba };
+                    dir.impairment = cfg.map(LinkImpairment::new);
                 }
             }
         }

@@ -21,4 +21,13 @@ cargo build --release
 echo "==> cargo test"
 cargo test -q --workspace
 
+# The root-package integration suites (determinism, DSR invariants,
+# health ejection under fault injection) and the lbcore property tests
+# are part of `--workspace` above; run them by name too so a filtered or
+# partial test invocation can't silently skip the tier-1 suites.
+echo "==> tier-1 integration suites (release)"
+cargo test -q --release --test determinism --test dsr_invariants \
+    --test health_ejection --test paper_claims
+cargo test -q -p lbcore --test proptests
+
 echo "All checks passed."

@@ -13,25 +13,9 @@ use lb_dataplane::LbConfig;
 use lbcore::AlphaShift;
 use netsim::{Duration, Time};
 
-/// Runs the Fig. 3 cluster for `sim_ms` with packet tracing on and
-/// folds every trace event into an FNV-1a hash.
-fn trace_hash(seed: u64, sim_ms: u64) -> (u64, usize) {
-    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
-        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())));
-    let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
-    cfg.seed = seed;
-    // A mid-run perturbation so the controller path (weight shifts,
-    // table rebuilds) is inside the hashed window too.
-    let mut cluster = KvCluster::build(cfg);
-    cluster.inject_backend_delay(
-        0,
-        Time::ZERO + Duration::from_millis(sim_ms / 2),
-        Duration::from_millis(1),
-    );
-    cluster.sim.enable_trace(1 << 21);
-    cluster.sim.run_for(Duration::from_millis(sim_ms));
-
-    let trace = cluster.sim.trace();
+/// Folds a finished simulation's packet trace into an FNV-1a hash.
+fn fold_trace(sim: &netsim::Simulation) -> (u64, usize) {
+    let trace = sim.trace();
     assert_eq!(trace.truncated, 0, "trace buffer too small for the run");
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for e in trace.events() {
@@ -51,6 +35,47 @@ fn trace_hash(seed: u64, sim_ms: u64) -> (u64, usize) {
     (h, trace.events().len())
 }
 
+/// Runs the Fig. 3 cluster for `sim_ms` with packet tracing on and
+/// folds every trace event into an FNV-1a hash.
+fn trace_hash(seed: u64, sim_ms: u64) -> (u64, usize) {
+    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
+        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())));
+    let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
+    cfg.seed = seed;
+    // A mid-run perturbation so the controller path (weight shifts,
+    // table rebuilds) is inside the hashed window too.
+    let mut cluster = KvCluster::build(cfg);
+    cluster.inject_backend_delay(
+        0,
+        Time::ZERO + Duration::from_millis(sim_ms / 2),
+        Duration::from_millis(1),
+    );
+    cluster.sim.enable_trace(1 << 21);
+    cluster.sim.run_for(Duration::from_millis(sim_ms));
+    fold_trace(&cluster.sim)
+}
+
+/// Runs the chaos scenario — backend crash + restart with packet
+/// corruption/duplication/reordering on the survivor's path — and hashes
+/// the trace. Exercises every fault-injection code path: scheduled node
+/// down/up, impairment RNG draws, health ejection, flow re-pinning, and
+/// probation readmission.
+fn chaos_trace_hash(seed: u64) -> (u64, usize) {
+    use experiments::chaos::{build_chaos_cluster, ChaosConfig};
+    let cfg = ChaosConfig {
+        duration: Duration::from_millis(1800),
+        crash_at: Duration::from_millis(400),
+        restart_at: Duration::from_millis(900),
+        impair: Some(netsim::ImpairmentConfig::light(0xFA11)),
+        bin: Duration::from_millis(250),
+        seed,
+    };
+    let mut cluster = build_chaos_cluster(&cfg, true);
+    cluster.sim.enable_trace(1 << 21);
+    cluster.sim.run_for(cfg.duration);
+    fold_trace(&cluster.sim)
+}
+
 /// Same seed → bit-identical packet schedule, event for event.
 #[test]
 fn same_seed_reproduces_the_exact_trace() {
@@ -68,4 +93,24 @@ fn different_seed_changes_the_trace() {
     let (h1, _) = trace_hash(17, 600);
     let (h2, _) = trace_hash(18, 600);
     assert_ne!(h1, h2, "seed had no effect on the trace");
+}
+
+/// Chaos determinism: crash, restart, and probabilistic packet
+/// impairment are all driven by seeded state, so the same seed must
+/// reproduce the exact packet schedule.
+#[test]
+fn chaos_same_seed_reproduces_the_exact_trace() {
+    let (h1, n1) = chaos_trace_hash(23);
+    let (h2, n2) = chaos_trace_hash(23);
+    assert!(n1 > 1_000, "implausibly few events: {n1}");
+    assert_eq!(n1, n2, "event counts diverged under faults");
+    assert_eq!(h1, h2, "trace hashes diverged for the same seed");
+}
+
+/// Chaos with a different seed → a genuinely different run.
+#[test]
+fn chaos_different_seed_changes_the_trace() {
+    let (h1, _) = chaos_trace_hash(23);
+    let (h2, _) = chaos_trace_hash(24);
+    assert_ne!(h1, h2, "seed had no effect on the chaos trace");
 }

@@ -1,0 +1,76 @@
+//! BENCH-PERF: runs the pinned performance macro-scenarios and writes a
+//! schema-versioned `BENCH_perf.json` so every PR appends to one
+//! comparable perf trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin perfbench -- \
+//!     [--quick] [--scenario NAME] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--quick` runs the short CI variants; the default (full) variants are
+//! the pinned trajectory points. Build with `--features bench-alloc` to
+//! include allocation counts (counting global allocator).
+
+use bench::harness::{self, BenchReport};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = bench::has_flag(&args, "--quick");
+    let seed: u64 = bench::arg_value(&args, "--seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
+    let out = bench::arg_value(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".into());
+
+    let report = if let Some(name) = bench::arg_value(&args, "--scenario") {
+        match harness::run_scenario(&name, quick, seed) {
+            Ok(r) => BenchReport::single(quick, r),
+            Err(e) => {
+                eprintln!("perfbench: {e}");
+                std::process::exit(2);
+            }
+        }
+    } else {
+        harness::run_all(quick, seed)
+    };
+
+    println!(
+        "perfbench (schema v{}, {} mode, seed {seed}, alloc counting {})",
+        report.schema_version,
+        if quick { "quick" } else { "full" },
+        if report.bench_alloc { "on" } else { "off" },
+    );
+    println!(
+        "{:<14} {:>7} {:>12} {:>12} {:>10} {:>12} {:>14} {:>12} {:>12}",
+        "scenario",
+        "sim_ms",
+        "events",
+        "packets",
+        "wall_ms",
+        "events/s",
+        "sim_pkts/s",
+        "allocs",
+        "rss_kb"
+    );
+    for s in &report.scenarios {
+        println!(
+            "{:<14} {:>7} {:>12} {:>12} {:>10.1} {:>12.0} {:>14.0} {:>12} {:>12}",
+            s.name,
+            s.sim_ms,
+            s.events,
+            s.packets,
+            s.wall_ns as f64 / 1e6,
+            s.events_per_sec,
+            s.sim_packets_per_sec,
+            s.alloc_count,
+            s.peak_rss_kb
+        );
+    }
+
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("perfbench: writing {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

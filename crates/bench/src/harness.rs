@@ -1,0 +1,734 @@
+//! BENCH-PERF: the reusable perf-bench harness behind the `perfbench`
+//! binary.
+//!
+//! Four pinned macro-scenarios cover the simulator's hot paths from the
+//! bottom up — raw event churn (nothing but the queue, links, and packet
+//! delivery), a bulk TCP transfer through the LB, the Fig. 3 two-backend
+//! KV workload, and the chaos crash/restart scenario — and each run is
+//! summarised as events/sec, simulated-packets/sec, wall time, peak RSS,
+//! and (behind the `bench-alloc` feature) allocation counts. Results are
+//! emitted as a schema-versioned `BENCH_perf.json` so successive PRs
+//! append to one comparable perf trajectory.
+//!
+//! Simulated counters (`events`, `packets`, `timers`, `sim_ms`) are a
+//! pure function of the scenario and seed; wall time, RSS, and allocation
+//! counts are host measurements and vary run to run.
+
+use std::net::Ipv4Addr;
+
+use experiments::chaos::{build_chaos_cluster, ChaosConfig};
+use experiments::topology::VIP;
+use experiments::{BacklogScenario, BacklogScenarioConfig, KvCluster, KvClusterConfig};
+use lb_dataplane::LbConfig;
+use lbcore::AlphaShift;
+use netpkt::{Addresses, MacAddr, Packet, TcpFlags, TcpHeader};
+use netsim::fault::ImpairmentConfig;
+use netsim::{Ctx, Duration, LinkConfig, LinkId, Node, SimStats, Simulation, Time, TimerToken};
+
+/// Version of the `BENCH_perf.json` schema this harness emits.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// The pinned scenario names, in report order.
+pub const SCENARIOS: &[&str] = &["netsim_churn", "nettcp_bulk", "fig3_kv", "chaos"];
+
+#[cfg(feature = "bench-alloc")]
+mod counting_alloc {
+    //! A counting wrapper around the system allocator, installed as the
+    //! global allocator when the `bench-alloc` feature is on. Counters
+    //! are process-wide and monotone; callers diff snapshots.
+
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(super) static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+            ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+}
+
+/// True when the counting global allocator is compiled in.
+pub fn alloc_counting_enabled() -> bool {
+    cfg!(feature = "bench-alloc")
+}
+
+/// Cumulative (allocation calls, allocated bytes) so far; zeros without
+/// the `bench-alloc` feature. Diff two snapshots to attribute a region.
+pub fn alloc_snapshot() -> (u64, u64) {
+    #[cfg(feature = "bench-alloc")]
+    {
+        use std::sync::atomic::Ordering;
+        (
+            counting_alloc::ALLOC_CALLS.load(Ordering::Relaxed),
+            counting_alloc::ALLOC_BYTES.load(Ordering::Relaxed),
+        )
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        (0, 0)
+    }
+}
+
+/// Peak resident set size in kB (`VmHWM` from `/proc/self/status`);
+/// 0 on platforms without procfs. Process-wide high water, not per-run.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let digits: String = rest.chars().filter(|c| c.is_ascii_digit()).collect();
+            return digits.parse().unwrap_or(0);
+        }
+    }
+    0
+}
+
+/// One scenario's measurements.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name (one of [`SCENARIOS`]).
+    pub name: String,
+    /// Root seed the scenario ran with.
+    pub seed: u64,
+    /// Simulated span, in milliseconds.
+    pub sim_ms: u64,
+    /// Events dispatched by the simulator.
+    pub events: u64,
+    /// Packets delivered to nodes.
+    pub packets: u64,
+    /// Timer callbacks fired.
+    pub timers: u64,
+    /// Host wall-clock time for the run, in nanoseconds.
+    pub wall_ns: u64,
+    /// Events dispatched per wall-clock second.
+    pub events_per_sec: f64,
+    /// Simulated packets delivered per wall-clock second.
+    pub sim_packets_per_sec: f64,
+    /// Peak RSS in kB observed after the run (process high water).
+    pub peak_rss_kb: u64,
+    /// Allocation calls during the run (0 without `bench-alloc`).
+    pub alloc_count: u64,
+    /// Bytes allocated during the run (0 without `bench-alloc`).
+    pub alloc_bytes: u64,
+}
+
+/// A full harness report: what `BENCH_perf.json` holds.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Schema version ([`SCHEMA_VERSION`] at write time).
+    pub schema_version: u32,
+    /// Whether the counting allocator was compiled in.
+    pub bench_alloc: bool,
+    /// Whether the short (`--quick`) scenario variants ran.
+    pub quick: bool,
+    /// Per-scenario results, in [`SCENARIOS`] order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl BenchReport {
+    /// Wraps a single scenario result in a report.
+    pub fn single(quick: bool, r: ScenarioResult) -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench_alloc: alloc_counting_enabled(),
+            quick,
+            scenarios: vec![r],
+        }
+    }
+}
+
+/// Runs every pinned scenario and collects the report.
+pub fn run_all(quick: bool, seed: u64) -> BenchReport {
+    let scenarios = SCENARIOS
+        .iter()
+        .filter_map(|name| run_scenario(name, quick, seed).ok())
+        .collect();
+    BenchReport {
+        schema_version: SCHEMA_VERSION,
+        bench_alloc: alloc_counting_enabled(),
+        quick,
+        scenarios,
+    }
+}
+
+/// Runs one named scenario. `quick` selects the short variant used by CI
+/// and the smoke test; the full variant is the pinned trajectory point.
+pub fn run_scenario(name: &str, quick: bool, seed: u64) -> Result<ScenarioResult, String> {
+    let (calls0, bytes0) = alloc_snapshot();
+    let start = std::time::Instant::now();
+    let (sim_ms, stats) = match name {
+        "netsim_churn" => run_churn(if quick { 50 } else { 1000 }, seed),
+        "nettcp_bulk" => run_bulk(if quick { 150 } else { 2000 }, seed),
+        "fig3_kv" => run_fig3_kv(if quick { 400 } else { 3000 }, seed),
+        "chaos" => run_chaos(quick, seed),
+        other => return Err(format!("unknown scenario '{other}'; known: {SCENARIOS:?}")),
+    };
+    let wall_ns = start.elapsed().as_nanos() as u64;
+    let (calls1, bytes1) = alloc_snapshot();
+    let wall_secs = (wall_ns as f64 / 1e9).max(1e-9);
+    Ok(ScenarioResult {
+        name: name.to_string(),
+        seed,
+        sim_ms,
+        events: stats.events_processed,
+        packets: stats.packets_delivered,
+        timers: stats.timers_fired,
+        wall_ns,
+        events_per_sec: stats.events_processed as f64 / wall_secs,
+        sim_packets_per_sec: stats.packets_delivered as f64 / wall_secs,
+        peak_rss_kb: peak_rss_kb(),
+        alloc_count: calls1.saturating_sub(calls0),
+        alloc_bytes: bytes1.saturating_sub(bytes0),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Scenarios.
+
+/// Tick period of the churn workload's per-node timer.
+const CHURN_TICK: Duration = Duration::from_micros(10);
+
+/// A node in the raw-event-churn scenario: every tick it re-arms its
+/// timer and forwards its frame (with the DSR-style L2 rewrite the LB
+/// performs per packet) to its ring neighbour, so the run exercises
+/// nothing but the event queue, links, packet copies, and delivery.
+struct Churner {
+    out: LinkId,
+    src_mac: MacAddr,
+    dst_mac: MacAddr,
+    ticks: u64,
+    rx: u64,
+    frame: Packet,
+}
+
+impl Node for Churner {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.arm_timer(CHURN_TICK, TimerToken(0));
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _link: LinkId, _pkt: Packet) {
+        self.rx += 1;
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: TimerToken) {
+        self.ticks += 1;
+        let pkt = self.frame.with_macs(self.src_mac, self.dst_mac);
+        ctx.send(self.out, pkt);
+        ctx.arm_timer(CHURN_TICK, TimerToken(0));
+    }
+}
+
+/// Raw netsim event churn: a ring of nodes exchanging small frames on
+/// every timer tick. No transport, no LB — the floor cost of an event.
+fn run_churn(sim_ms: u64, seed: u64) -> (u64, SimStats) {
+    const NODES: usize = 8;
+    let mut sim = Simulation::new();
+    let ids: Vec<_> = (0..NODES)
+        .map(|i| sim.reserve_node(format!("churn-{i}")))
+        .collect();
+    let links: Vec<_> = (0..NODES)
+        .map(|i| {
+            sim.add_link(
+                ids[i],
+                ids[(i + 1) % NODES],
+                LinkConfig::new(10_000_000_000, Duration::from_micros(5), 1 << 20),
+            )
+        })
+        .collect();
+    for i in 0..NODES {
+        let frame = Packet::build_tcp(
+            Addresses {
+                src_mac: MacAddr::from_id(i as u32),
+                dst_mac: MacAddr::from_id((i as u32 + 1) % NODES as u32),
+                src_ip: Ipv4Addr::new(10, 7, (seed % 251) as u8, i as u8),
+                dst_ip: Ipv4Addr::new(10, 7, (seed % 251) as u8, ((i + 1) % NODES) as u8),
+            },
+            &TcpHeader {
+                src_port: 40_000 + i as u16,
+                dst_port: 9,
+                seq: 1,
+                ack: 0,
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: 8192,
+            },
+            &[0u8; 64],
+            64,
+            i as u16,
+        );
+        sim.install_node(
+            ids[i],
+            Box::new(Churner {
+                out: links[i],
+                src_mac: MacAddr::from_id(0xe0 + i as u32),
+                dst_mac: MacAddr::from_id(0xe1 + i as u32),
+                ticks: 0,
+                rx: 0,
+                frame,
+            }),
+        );
+    }
+    sim.run_until(Time::ZERO + Duration::from_millis(sim_ms));
+    (sim_ms, sim.stats())
+}
+
+/// A window-limited bulk TCP transfer through the LB (the Fig. 2 shape,
+/// widened window): the nettcp + LB forwarding path under load.
+fn run_bulk(sim_ms: u64, seed: u64) -> (u64, SimStats) {
+    let mut cfg = BacklogScenarioConfig::fig2_defaults();
+    cfg.seed = seed;
+    cfg.window_segments = 64;
+    let mut scenario = BacklogScenario::build(cfg);
+    scenario
+        .sim
+        .run_until(Time::ZERO + Duration::from_millis(sim_ms));
+    (sim_ms, scenario.sim.stats())
+}
+
+/// The Fig. 3 two-backend KV workload under the latency-aware LB, with
+/// the 1 ms delay injected at the midpoint — the end-to-end macro path
+/// (clients, TCP, LB measurement + control, backends).
+fn run_fig3_kv(sim_ms: u64, seed: u64) -> (u64, SimStats) {
+    let lb_factory: Box<dyn FnOnce(Vec<Ipv4Addr>) -> LbConfig> =
+        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())));
+    let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
+    cfg.seed = seed;
+    let mut cluster = KvCluster::build(cfg);
+    cluster.inject_backend_delay(
+        0,
+        Time::ZERO + Duration::from_millis(sim_ms / 2),
+        Duration::from_millis(1),
+    );
+    cluster
+        .sim
+        .run_until(Time::ZERO + Duration::from_millis(sim_ms));
+    (sim_ms, cluster.sim.stats())
+}
+
+/// The chaos crash/restart scenario (health ejection + fault layer +
+/// impairment draws) under the latency-aware LB.
+fn run_chaos(quick: bool, seed: u64) -> (u64, SimStats) {
+    let cfg = if quick {
+        ChaosConfig {
+            duration: Duration::from_millis(1200),
+            crash_at: Duration::from_millis(300),
+            restart_at: Duration::from_millis(700),
+            impair: Some(ImpairmentConfig::light(seed)),
+            bin: Duration::from_millis(250),
+            seed,
+        }
+    } else {
+        ChaosConfig {
+            duration: Duration::from_secs(8),
+            crash_at: Duration::from_secs(2),
+            restart_at: Duration::from_millis(4500),
+            impair: Some(ImpairmentConfig::light(seed)),
+            bin: Duration::from_millis(250),
+            seed,
+        }
+    };
+    let sim_ms = cfg.duration.as_nanos() / 1_000_000;
+    let mut cluster = build_chaos_cluster(&cfg, true);
+    cluster.sim.run_until(Time::ZERO + cfg.duration);
+    (sim_ms, cluster.sim.stats())
+}
+
+// ---------------------------------------------------------------------------
+// JSON: hand-rolled writer + parser (the workspace vendors no serde).
+
+impl BenchReport {
+    /// Serialises the report as the `BENCH_perf.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        out.push_str(&format!("  \"bench_alloc\": {},\n", self.bench_alloc));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"scenarios\": [\n");
+        for (i, s) in self.scenarios.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": {},\n", json_string(&s.name)));
+            out.push_str(&format!("      \"seed\": {},\n", s.seed));
+            out.push_str(&format!("      \"sim_ms\": {},\n", s.sim_ms));
+            out.push_str(&format!("      \"events\": {},\n", s.events));
+            out.push_str(&format!("      \"packets\": {},\n", s.packets));
+            out.push_str(&format!("      \"timers\": {},\n", s.timers));
+            out.push_str(&format!("      \"wall_ns\": {},\n", s.wall_ns));
+            out.push_str(&format!(
+                "      \"events_per_sec\": {:.1},\n",
+                s.events_per_sec
+            ));
+            out.push_str(&format!(
+                "      \"sim_packets_per_sec\": {:.1},\n",
+                s.sim_packets_per_sec
+            ));
+            out.push_str(&format!("      \"peak_rss_kb\": {},\n", s.peak_rss_kb));
+            out.push_str(&format!("      \"alloc_count\": {},\n", s.alloc_count));
+            out.push_str(&format!("      \"alloc_bytes\": {}\n", s.alloc_bytes));
+            out.push_str(if i + 1 == self.scenarios.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a `BENCH_perf.json` document (round-trip of [`Self::to_json`]).
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let root = parse_json(text)?;
+        let schema_version = root.get_u64("schema_version")? as u32;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {schema_version} != supported {SCHEMA_VERSION}"
+            ));
+        }
+        let bench_alloc = root.get_bool("bench_alloc")?;
+        let quick = root.get_bool("quick")?;
+        let mut scenarios = Vec::new();
+        for item in root.get_arr("scenarios")? {
+            scenarios.push(ScenarioResult {
+                name: item.get_str("name")?,
+                seed: item.get_u64("seed")?,
+                sim_ms: item.get_u64("sim_ms")?,
+                events: item.get_u64("events")?,
+                packets: item.get_u64("packets")?,
+                timers: item.get_u64("timers")?,
+                wall_ns: item.get_u64("wall_ns")?,
+                events_per_sec: item.get_f64("events_per_sec")?,
+                sim_packets_per_sec: item.get_f64("sim_packets_per_sec")?,
+                peak_rss_kb: item.get_u64("peak_rss_kb")?,
+                alloc_count: item.get_u64("alloc_count")?,
+                alloc_bytes: item.get_u64("alloc_bytes")?,
+            });
+        }
+        Ok(BenchReport {
+            schema_version,
+            bench_alloc,
+            quick,
+            scenarios,
+        })
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parsed JSON value — just enough structure for the report schema.
+enum Json {
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Result<&'a Json, String> {
+        match self {
+            Json::Obj(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing key '{key}'")),
+            _ => Err(format!("looked up '{key}' in a non-object")),
+        }
+    }
+
+    fn get_u64(&self, key: &str) -> Result<u64, String> {
+        match self.get(key)? {
+            Json::Num(n) if *n >= 0.0 => Ok(*n as u64),
+            _ => Err(format!("'{key}' is not a non-negative number")),
+        }
+    }
+
+    fn get_f64(&self, key: &str) -> Result<f64, String> {
+        match self.get(key)? {
+            Json::Num(n) => Ok(*n),
+            _ => Err(format!("'{key}' is not a number")),
+        }
+    }
+
+    fn get_bool(&self, key: &str) -> Result<bool, String> {
+        match self.get(key)? {
+            Json::Bool(b) => Ok(*b),
+            _ => Err(format!("'{key}' is not a bool")),
+        }
+    }
+
+    fn get_str(&self, key: &str) -> Result<String, String> {
+        match self.get(key)? {
+            Json::Str(s) => Ok(s.clone()),
+            _ => Err(format!("'{key}' is not a string")),
+        }
+    }
+
+    fn get_arr<'a>(&'a self, key: &str) -> Result<&'a [Json], String> {
+        match self.get(key)? {
+            Json::Arr(items) => Ok(items),
+            _ => Err(format!("'{key}' is not an array")),
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => parse_str(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false").map(|()| Json::Bool(false)),
+        Some(_) => parse_num(bytes, pos),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{lit}' at byte {}", *pos))
+    }
+}
+
+fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = core::str::from_utf8(&bytes[start..*pos])
+        .map_err(|_| format!("invalid utf8 in number at byte {start}"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+}
+
+fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| core::str::from_utf8(h).ok())
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad string escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar starting here.
+                let rest = core::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| "invalid utf8 in string".to_string())?;
+                if let Some(c) = rest.chars().next() {
+                    out.push(c);
+                    *pos += c.len_utf8();
+                } else {
+                    return Err("unterminated string".to_string());
+                }
+            }
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    *pos += 1; // '{'
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {}", *pos));
+        }
+        let key = parse_str(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {}", *pos));
+        }
+        *pos += 1;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        BenchReport {
+            schema_version: SCHEMA_VERSION,
+            bench_alloc: false,
+            quick: true,
+            scenarios: vec![ScenarioResult {
+                name: "netsim_churn".into(),
+                seed: 42,
+                sim_ms: 50,
+                events: 123_456,
+                packets: 60_000,
+                timers: 63_456,
+                wall_ns: 7_000_000,
+                events_per_sec: 17_636_571.4,
+                sim_packets_per_sec: 8_571_428.6,
+                peak_rss_kb: 10_240,
+                alloc_count: 0,
+                alloc_bytes: 0,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample_report();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.schema_version, report.schema_version);
+        assert_eq!(parsed.bench_alloc, report.bench_alloc);
+        assert_eq!(parsed.quick, report.quick);
+        assert_eq!(parsed.scenarios.len(), 1);
+        let (a, b) = (&parsed.scenarios[0], &report.scenarios[0]);
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.sim_ms, b.sim_ms);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.timers, b.timers);
+        assert_eq!(a.wall_ns, b.wall_ns);
+        assert_eq!(a.peak_rss_kb, b.peak_rss_kb);
+        assert!((a.events_per_sec - b.events_per_sec).abs() < 0.2);
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(BenchReport::from_json("").is_err());
+        assert!(BenchReport::from_json("{}").is_err());
+        assert!(BenchReport::from_json("{\"schema_version\": 999}").is_err());
+        assert!(BenchReport::from_json("[1, 2").is_err());
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        assert!(run_scenario("nope", true, 1).is_err());
+    }
+
+    #[test]
+    fn churn_scenario_is_deterministic() {
+        let (ms_a, a) = run_churn(5, 9);
+        let (ms_b, b) = run_churn(5, 9);
+        assert_eq!(ms_a, ms_b);
+        assert_eq!(a.events_processed, b.events_processed);
+        assert_eq!(a.packets_delivered, b.packets_delivered);
+        assert_eq!(a.timers_fired, b.timers_fired);
+        assert!(a.events_processed > 0);
+    }
+}

@@ -7,6 +7,8 @@
 //! * `fig3` — regenerates Fig. 3: p95 GET latency, Maglev vs. aware.
 //! * `ablations` — runs the ablation suite (`epoch`, `k`, `alpha`,
 //!   `timing`, `controllers`, `herd`, or `all`).
+//! * `perfbench` — runs the pinned perf macro-scenarios and writes the
+//!   schema-versioned `BENCH_perf.json` (see [`harness`]).
 //!
 //! Criterion benches (run with `cargo bench`):
 //!
@@ -18,6 +20,8 @@
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod harness;
 
 /// Parses `--seed N` style overrides shared by the binaries.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {

@@ -247,6 +247,10 @@ pub struct LbNode {
     /// True while every backend is ejected: the fast path drops packets
     /// (with a counter) instead of forwarding into dead pins.
     no_backend: bool,
+    /// Reusable buffers for [`LbNode::health_epoch`]'s route-class and raw
+    /// weight rebuilds, so a health transition allocates nothing.
+    class_scratch: Vec<u8>,
+    raw_scratch: Vec<f64>,
     /// Counters.
     pub stats: LbStats,
 }
@@ -305,6 +309,8 @@ impl LbNode {
             ejected: vec![false; n],
             route_class: vec![0; n],
             no_backend: false,
+            class_scratch: Vec::new(),
+            raw_scratch: Vec::new(),
             stats: LbStats::default(),
         }
     }
@@ -384,20 +390,24 @@ impl LbNode {
     fn process(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
         self.stats.rx += 1;
         if self.try_control(ctx.now(), &pkt) {
+            ctx.pool().recycle(pkt);
             return;
         }
         let Ok((key, flags)) = FlowKey::parse_with_flags(&pkt.data) else {
             self.stats.dropped += 1;
+            ctx.pool().recycle(pkt);
             return;
         };
         if key.dst_ip != self.cfg.vip {
             self.stats.dropped += 1;
+            ctx.pool().recycle(pkt);
             return;
         }
         if self.no_backend {
             // Every backend ejected: any forwarding choice is a dead pin.
             self.stats.no_backend_drops += 1;
             self.stats.dropped += 1;
+            ctx.pool().recycle(pkt);
             return;
         }
         let now = ctx.now();
@@ -482,10 +492,12 @@ impl LbNode {
         }
 
         // DSR forwarding: L2 rewrite only; the VIP stays in the IP header.
-        let fwd = pkt.with_macs(self.mac, self.backend_mac(backend));
+        let fwd = pkt.with_macs_pooled(self.mac, self.backend_mac(backend), ctx.pool());
         self.stats.forwarded += 1;
         self.fwd_per_backend[backend] += 1;
         ctx.send(self.backend_links[backend], fwd);
+        // The consumed rx buffer feeds the next forward's pooled copy.
+        ctx.pool().recycle(pkt);
     }
 
     /// Chooses the backend for a new connection per the routing policy.
@@ -533,9 +545,7 @@ impl LbNode {
                 // Controllers redistribute by spreading mass over *all*
                 // backends, which leaks weight back onto ejected ones;
                 // re-apply the mask before rebuilding.
-                let raw = self.weights.as_slice().to_vec();
-                let mask = self.ejected.clone();
-                let _ = self.weights.set_with_ejections(&raw, &mask);
+                let _ = self.weights.apply_ejections(&self.ejected);
             }
             self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
             self.stats.table_rebuilds += 1;
@@ -557,22 +567,19 @@ impl LbNode {
         if !changed {
             return;
         }
-        let states: Vec<HealthState> = (0..n).map(|b| tracker.state(b)).collect();
-        let classes: Vec<u8> = states
-            .iter()
-            .map(|s| match s {
-                HealthState::Healthy | HealthState::Suspect => 0,
+        self.class_scratch.clear();
+        self.class_scratch
+            .extend((0..n).map(|b| match tracker.state(b) {
+                HealthState::Healthy | HealthState::Suspect => 0u8,
                 HealthState::Probation => 1,
                 HealthState::Ejected => 2,
-            })
-            .collect();
-        if classes == self.route_class {
+            }));
+        if self.class_scratch == self.route_class {
             return; // Healthy↔Suspect churn: no routing consequence
         }
-        let raw: Vec<f64> = states
-            .iter()
-            .enumerate()
-            .map(|(b, s)| match s {
+        self.raw_scratch.clear();
+        for b in 0..n {
+            self.raw_scratch.push(match tracker.state(b) {
                 HealthState::Ejected => 0.0,
                 // Probation earns only the floor: enough traffic to elicit
                 // samples, little enough to contain a still-dead backend.
@@ -582,12 +589,16 @@ impl LbNode {
                 // parked at the probation floor indefinitely.
                 _ if self.route_class[b] != 0 => 1.0 / n as f64,
                 _ => self.weights.get(b).max(self.cfg.weight_floor),
-            })
-            .collect();
-        let mask: Vec<bool> = states.iter().map(|s| *s == HealthState::Ejected).collect();
-        self.route_class = classes;
-        self.ejected = mask.clone();
-        if !self.weights.set_with_ejections(&raw, &mask) {
+            });
+        }
+        self.ejected.clear();
+        self.ejected
+            .extend((0..n).map(|b| tracker.state(b) == HealthState::Ejected));
+        core::mem::swap(&mut self.route_class, &mut self.class_scratch);
+        if !self
+            .weights
+            .set_with_ejections(&self.raw_scratch, &self.ejected)
+        {
             // Every backend ejected: weights untouched, table kept, the
             // fast path drops with a counter until probation reopens one.
             self.no_backend = true;
@@ -604,7 +615,7 @@ impl LbNode {
         let table = &self.table;
         let ensembles = &mut self.ensembles;
         let mut moved = 0usize;
-        for (b, ejected) in mask.iter().enumerate() {
+        for (b, &ejected) in self.ejected.iter().enumerate() {
             if !ejected {
                 continue;
             }
@@ -694,10 +705,12 @@ mod tests {
         fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
     }
 
-    /// An injector that sends a scripted list of (time, packet).
+    /// An injector that sends a scripted list of (time, packet). Each
+    /// entry is `take`n when its timer fires — a timer token fires exactly
+    /// once, so no per-send clone of the packet is needed.
     struct Injector {
         link: LinkId,
-        script: Vec<(Duration, Packet)>,
+        script: Vec<(Duration, Option<Packet>)>,
     }
     impl Node for Injector {
         fn on_start(&mut self, ctx: &mut Ctx<'_>) {
@@ -707,8 +720,9 @@ mod tests {
         }
         fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _l: LinkId, _p: Packet) {}
         fn on_timer(&mut self, ctx: &mut Ctx<'_>, t: TimerToken) {
-            let pkt = self.script[t.0 as usize].1.clone();
-            ctx.send(self.link, pkt);
+            if let Some(pkt) = self.script[t.0 as usize].1.take() {
+                ctx.send(self.link, pkt);
+            }
         }
     }
 
@@ -726,7 +740,13 @@ mod tests {
         let l_in = sim.add_link(inj, lb, netsim::LinkConfig::default());
         let l0 = sim.add_link(lb, sink0, netsim::LinkConfig::default());
         let l1 = sim.add_link(lb, sink1, netsim::LinkConfig::default());
-        sim.install_node(inj, Box::new(Injector { link: l_in, script }));
+        sim.install_node(
+            inj,
+            Box::new(Injector {
+                link: l_in,
+                script: script.into_iter().map(|(d, p)| (d, Some(p))).collect(),
+            }),
+        );
         sim.install_node(
             lb,
             Box::new(LbNode::new(cfg, MacAddr::from_id(9), vec![l0, l1])),

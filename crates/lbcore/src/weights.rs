@@ -2,10 +2,20 @@
 
 /// A normalized weight vector over backends: entries are ≥ `floor`, sum to
 /// 1, and represent each backend's share of *new* connections.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Weights {
     w: Vec<f64>,
     floor: f64,
+    /// Reusable buffer for [`Weights::apply_ejections`], so re-applying an
+    /// ejection mask on the control path allocates nothing after the first
+    /// call. Never part of the value: equality ignores it.
+    scratch: Vec<f64>,
+}
+
+impl PartialEq for Weights {
+    fn eq(&self, other: &Self) -> bool {
+        self.w == other.w && self.floor == other.floor
+    }
 }
 
 impl Weights {
@@ -22,6 +32,7 @@ impl Weights {
         Weights {
             w: vec![1.0 / n as f64; n],
             floor,
+            scratch: Vec::new(),
         }
     }
 
@@ -86,6 +97,10 @@ impl Weights {
             new.iter().all(|&x| x.is_finite() && x >= 0.0),
             "weights must be finite and >= 0"
         );
+        Self::set_into(&mut self.w, self.floor, new);
+    }
+
+    fn set_into(w: &mut [f64], floor: f64, new: &[f64]) {
         let n = new.len();
         let total: f64 = new.iter().sum();
         let raw: Vec<f64> = if total > 0.0 {
@@ -99,10 +114,10 @@ impl Weights {
             if pinned_count == n {
                 // Everything pinned: distribute the leftover equally.
                 let each = 1.0 / n as f64;
-                self.w.iter_mut().for_each(|w| *w = each);
+                w.iter_mut().for_each(|w| *w = each);
                 return;
             }
-            let mass = 1.0 - pinned_count as f64 * self.floor;
+            let mass = 1.0 - pinned_count as f64 * floor;
             let unpinned_sum: f64 = raw
                 .iter()
                 .zip(&pinned)
@@ -112,7 +127,7 @@ impl Weights {
             let mut newly_pinned = false;
             for i in 0..n {
                 if pinned[i] {
-                    self.w[i] = self.floor;
+                    w[i] = floor;
                     continue;
                 }
                 let candidate = if unpinned_sum > 0.0 {
@@ -120,11 +135,11 @@ impl Weights {
                 } else {
                     mass / (n - pinned_count) as f64
                 };
-                if candidate < self.floor {
+                if candidate < floor {
                     pinned[i] = true;
                     newly_pinned = true;
                 } else {
-                    self.w[i] = candidate;
+                    w[i] = candidate;
                 }
             }
             if !newly_pinned {
@@ -151,13 +166,34 @@ impl Weights {
             new.iter().all(|&x| x.is_finite() && x >= 0.0),
             "weights must be finite and >= 0"
         );
-        let n = self.w.len();
+        Self::eject_into(&mut self.w, self.floor, new, ejected)
+    }
+
+    /// Re-applies an ejection mask to the *current* shares in place —
+    /// exactly `set_with_ejections(self.as_slice(), ejected)`, but without
+    /// the caller cloning the shares first: the current shares are staged
+    /// through a reusable internal scratch buffer, so the controller's
+    /// mask-reapply-per-rebuild path stops allocating.
+    pub fn apply_ejections(&mut self, ejected: &[bool]) -> bool {
+        assert_eq!(ejected.len(), self.w.len(), "mask length mismatch");
+        self.scratch.clear();
+        self.scratch.extend_from_slice(&self.w);
+        // Detach the scratch so the borrow checker allows reading it while
+        // writing `w`; hand it back (capacity intact) when done.
+        let raw = core::mem::take(&mut self.scratch);
+        let ok = Self::eject_into(&mut self.w, self.floor, &raw, ejected);
+        self.scratch = raw;
+        ok
+    }
+
+    fn eject_into(w: &mut [f64], floor: f64, new: &[f64], ejected: &[bool]) -> bool {
+        let n = w.len();
         let m = n - ejected.iter().filter(|&&e| e).count();
         if m == 0 {
             return false;
         }
         if m == n {
-            self.set(new);
+            Self::set_into(w, floor, new);
             return true;
         }
         // Normalize over survivors; if they carry no mass, split equally.
@@ -187,12 +223,12 @@ impl Weights {
             let pinned_count = pinned.iter().filter(|&&p| p).count();
             if pinned_count == m {
                 let each = 1.0 / m as f64;
-                for (w, &e) in self.w.iter_mut().zip(ejected) {
-                    *w = if e { 0.0 } else { each };
+                for (wi, &e) in w.iter_mut().zip(ejected) {
+                    *wi = if e { 0.0 } else { each };
                 }
                 return true;
             }
-            let mass = 1.0 - pinned_count as f64 * self.floor;
+            let mass = 1.0 - pinned_count as f64 * floor;
             let unpinned_sum: f64 = (0..n)
                 .filter(|&i| !ejected[i] && !pinned[i])
                 .map(|i| raw[i])
@@ -200,11 +236,11 @@ impl Weights {
             let mut newly_pinned = false;
             for i in 0..n {
                 if ejected[i] {
-                    self.w[i] = 0.0;
+                    w[i] = 0.0;
                     continue;
                 }
                 if pinned[i] {
-                    self.w[i] = self.floor;
+                    w[i] = floor;
                     continue;
                 }
                 let candidate = if unpinned_sum > 0.0 {
@@ -212,11 +248,11 @@ impl Weights {
                 } else {
                     mass / (m - pinned_count) as f64
                 };
-                if candidate < self.floor {
+                if candidate < floor {
                     pinned[i] = true;
                     newly_pinned = true;
                 } else {
-                    self.w[i] = candidate;
+                    w[i] = candidate;
                 }
             }
             if !newly_pinned {
@@ -403,6 +439,24 @@ mod tests {
         assert!((w.get(0) - 0.5).abs() < 1e-9);
         assert!((w.get(1) - 0.5).abs() < 1e-9);
         assert_eq!(w.get(2).to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn apply_ejections_is_bit_identical_to_clone_then_set() {
+        let mut a = Weights::equal(4, 0.05);
+        a.set(&[100.0, 0.001, 50.0, 1.0]);
+        let mut b = a.clone();
+        let mask = [false, true, false, true];
+        let raw = a.as_slice().to_vec();
+        assert!(a.set_with_ejections(&raw, &mask));
+        assert!(b.apply_ejections(&mask));
+        for i in 0..4 {
+            assert_eq!(a.get(i).to_bits(), b.get(i).to_bits(), "share {i} diverged");
+        }
+        // All-ejected still refuses and leaves the shares untouched.
+        let before = b.clone();
+        assert!(!b.apply_ejections(&[true, true, true, true]));
+        assert!(b.max_diff(&before) < 1e-12);
     }
 
     #[test]

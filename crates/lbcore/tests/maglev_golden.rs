@@ -1,0 +1,98 @@
+//! Maglev golden regression: the table layout and the packet-parse →
+//! flow-hash → lookup pipeline are pinned to known-good values, so any
+//! change to the permutation build, `splitmix64`, header parsing, or the
+//! zero-copy parse path that silently re-shuffles flow placement fails
+//! here instead of surfacing as mass connection resets in a rollout.
+
+use std::net::Ipv4Addr;
+
+use lbcore::MaglevTable;
+use netpkt::{Addresses, FlowKey, MacAddr, Packet, TcpFlags, TcpHeader};
+
+/// FNV-1a fold, same shape as the determinism trace hash.
+fn fnv_fold(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for b in bytes {
+        h = (h ^ u64::from(*b)).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The fixed backend set used by the goldens: seven backends with
+/// deliberately uneven weights (renormalization + turn-taking paths).
+const GOLDEN_WEIGHTS: [f64; 7] = [1.0, 1.0, 2.0, 0.5, 3.0, 1.0, 0.25];
+
+/// The full 4093-slot table for the fixed backend set hashes to a pinned
+/// value. `lookup(i)` for `i < size` reads slot `i` directly, so this
+/// covers every slot in build order.
+#[test]
+fn golden_table_4093_is_pinned() {
+    let table = MaglevTable::build(&GOLDEN_WEIGHTS, 4093);
+    let mut h = FNV_SEED;
+    for i in 0..4093u64 {
+        let backend = table.lookup(i) as u32;
+        h = fnv_fold(h, &backend.to_le_bytes());
+    }
+    assert_eq!(
+        h, 0x4b45_9965_960d_9981,
+        "Maglev 4093-slot table layout changed"
+    );
+}
+
+/// Builds the i-th golden packet: a deterministic spread of client
+/// addresses and ports toward the VIP.
+fn golden_packet(i: u64) -> Packet {
+    Packet::build_tcp(
+        Addresses {
+            src_mac: MacAddr::from_id(1),
+            dst_mac: MacAddr::from_id(2),
+            src_ip: Ipv4Addr::new(10, (i >> 16) as u8, (i >> 8) as u8, i as u8),
+            dst_ip: Ipv4Addr::new(10, 99, 0, 1),
+        },
+        &TcpHeader {
+            src_port: 1024 + (i % 60_000) as u16,
+            dst_port: 11211,
+            seq: i as u32,
+            ack: 0,
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: 8192,
+        },
+        &[0u8; 16],
+        64,
+        i as u16,
+    )
+}
+
+/// The end-to-end placement pipeline — build frame, fast-parse the
+/// 4-tuple, stable-hash it, look it up — is pinned over 10k flows, so
+/// the zero-copy parse rework provably routes every flow identically.
+#[test]
+fn golden_lookups_for_10k_flow_keys_are_pinned() {
+    let table = MaglevTable::build(&GOLDEN_WEIGHTS, 4093);
+    let mut h = FNV_SEED;
+    for i in 0..10_000u64 {
+        let pkt = golden_packet(i);
+        let (key, flags) = FlowKey::parse_with_flags(&pkt.data).expect("golden frame parses");
+        assert_eq!(flags, TcpFlags::ACK | TcpFlags::PSH);
+        let backend = table.lookup(key.stable_hash()) as u32;
+        h = fnv_fold(h, &backend.to_le_bytes());
+    }
+    assert_eq!(
+        h, 0x8082_55dd_1877_0107,
+        "flow-key parse/hash/lookup placement changed"
+    );
+}
+
+/// The parse path used by the goldens agrees with the checksum-verifying
+/// slow parse (same 4-tuple), tying the golden to both parsers.
+#[test]
+fn golden_fast_parse_agrees_with_verified_parse() {
+    for i in (0..10_000u64).step_by(97) {
+        let pkt = golden_packet(i);
+        let (fast, _) = FlowKey::parse_with_flags(&pkt.data).expect("fast parse");
+        let slow = FlowKey::parse(&pkt.data).expect("verified parse");
+        assert_eq!(fast, slow);
+    }
+}

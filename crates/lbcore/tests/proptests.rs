@@ -195,6 +195,57 @@ proptest! {
         prop_assert_eq!(ens_samples, fixed_samples);
     }
 
+    /// Algorithm 2's epoch decision is the argmax cliff: under the
+    /// paper's `ArgmaxRatio` rule, the chosen δₘ maximizes the
+    /// (Laplace-smoothed) step ratio Nᵢ/Nᵢ₊₁ over the epoch's counts.
+    /// The oracle counts are computed independently from the raw gaps —
+    /// every instance shares `time_last_pkt`, so Nᵢ is just the number
+    /// of consecutive gaps exceeding δᵢ.
+    #[test]
+    fn ensemble_decision_is_argmax_cliff(
+        gaps in proptest::collection::vec(1u64..3_000_000, 20..200),
+    ) {
+        let arrivals = arrivals_from_gaps(&gaps);
+        let cfg = EnsembleConfig::default();
+        let timeouts = cfg.timeouts.clone();
+        let k = timeouts.len();
+        let counts: Vec<u64> = timeouts
+            .iter()
+            .map(|&d| arrivals.windows(2).filter(|w| w[1] - w[0] > d).count() as u64)
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total < cfg.min_epoch_samples {
+            // Not enough evidence for a decision (the stub proptest has
+            // no prop_assume; skipping the case is equivalent here).
+            return Ok(());
+        }
+        // Same smoothing and first-max tie-break as the implementation.
+        let ratio = |i: usize| (counts[i] as f64 + 1.0) / (counts[i + 1] as f64 + 1.0);
+        let mut expect = 0;
+        for i in 1..k - 1 {
+            if ratio(i) > ratio(expect) {
+                expect = i;
+            }
+        }
+        // One epoch containing every arrival, then a sentinel packet in
+        // the next epoch to trigger the boundary decision.
+        let epoch = arrivals.last().unwrap() + 1;
+        let mut ens = EnsembleTimeout::new(EnsembleConfig {
+            epoch,
+            rule: CliffRule::ArgmaxRatio,
+            ..cfg
+        });
+        let mut flow = ens.new_flow(arrivals[0]);
+        for &t in &arrivals[1..] {
+            let _ = ens.on_packet(&mut flow, t);
+        }
+        prop_assert_eq!(ens.epoch_counts(), &counts[..], "oracle count mismatch");
+        let _ = ens.on_packet(&mut flow, epoch);
+        let d = ens.decisions().last().expect("boundary must decide");
+        prop_assert_eq!(d.chosen, expect, "counts {:?}", &counts);
+        prop_assert_eq!(d.delta, timeouts[expect]);
+    }
+
     /// Maglev: shares track arbitrary weight vectors within 2 slots'
     /// resolution, and lookups stay in range.
     #[test]

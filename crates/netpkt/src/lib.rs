@@ -25,13 +25,15 @@ pub mod ipv4;
 pub mod kv;
 pub mod oob;
 pub mod packet;
+pub mod pool;
 pub mod tcp;
 pub mod udp;
 
 pub use eth::{EthHeader, MacAddr, ETHERTYPE_IPV4, ETH_HEADER_LEN};
 pub use flow::FlowKey;
 pub use ipv4::{Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
-pub use packet::{Addresses, Packet, PacketView};
+pub use packet::{Addresses, Packet, PacketView, PacketViewRef};
+pub use pool::{BufferPool, PoolStats};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, IPPROTO_UDP, UDP_HEADER_LEN};
 

@@ -6,6 +6,7 @@ use std::net::Ipv4Addr;
 
 use crate::eth::{EthHeader, MacAddr, ETHERTYPE_IPV4, ETH_HEADER_LEN};
 use crate::ipv4::{Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
+use crate::pool::BufferPool;
 use crate::tcp::{self, TcpFlags, TcpHeader, TCP_HEADER_LEN};
 use crate::{ParseError, Result};
 
@@ -45,13 +46,63 @@ impl Packet {
         self.data.len()
     }
 
-    /// Parses all three headers, verifying IPv4 and TCP checksums.
+    /// Parses all three headers, verifying IPv4 and TCP checksums. The
+    /// returned payload is an O(1) slice of this packet's refcounted
+    /// buffer — no copy is made.
     pub fn view(&self) -> Result<PacketView> {
-        PacketView::parse(&self.data)
+        let v = PacketViewRef::parse(&self.data)?;
+        let off = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
+        let len = v.payload.len();
+        Ok(PacketView {
+            eth: v.eth,
+            ip: v.ip,
+            tcp: v.tcp,
+            payload: self.data.slice(off..off + len),
+        })
+    }
+
+    /// Zero-copy variant of [`Self::view`]: the payload stays borrowed
+    /// from the frame.
+    pub fn view_ref(&self) -> Result<PacketViewRef<'_>> {
+        PacketViewRef::parse(&self.data)
     }
 
     /// Builds a full TCP/IPv4 frame.
     pub fn build_tcp(
+        addrs: Addresses,
+        tcp_hdr: &TcpHeader,
+        payload: &[u8],
+        ttl: u8,
+        ident: u16,
+    ) -> Packet {
+        let total = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len();
+        Self::build_tcp_into(
+            BytesMut::with_capacity(total),
+            addrs,
+            tcp_hdr,
+            payload,
+            ttl,
+            ident,
+        )
+    }
+
+    /// [`Self::build_tcp`] drawing its buffer from a [`BufferPool`] — the
+    /// per-packet construction path of traffic endpoints, where pooling
+    /// turns the frame allocation into a free-list hit.
+    pub fn build_tcp_pooled(
+        addrs: Addresses,
+        tcp_hdr: &TcpHeader,
+        payload: &[u8],
+        ttl: u8,
+        ident: u16,
+        pool: &mut BufferPool,
+    ) -> Packet {
+        let total = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len();
+        Self::build_tcp_into(pool.take(total), addrs, tcp_hdr, payload, ttl, ident)
+    }
+
+    fn build_tcp_into(
+        mut buf: BytesMut,
         addrs: Addresses,
         tcp_hdr: &TcpHeader,
         payload: &[u8],
@@ -64,8 +115,6 @@ impl Packet {
             src_ip,
             dst_ip,
         } = addrs;
-        let total = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN + payload.len();
-        let mut buf = BytesMut::with_capacity(total);
         EthHeader {
             dst: dst_mac,
             src: src_mac,
@@ -99,6 +148,24 @@ impl Packet {
     /// needed because MACs are outside both checksums.
     pub fn with_macs(&self, src_mac: MacAddr, dst_mac: MacAddr) -> Packet {
         let mut bytes = BytesMut::from(&self.data[..]);
+        bytes[0..6].copy_from_slice(&dst_mac.0);
+        bytes[6..12].copy_from_slice(&src_mac.0);
+        Packet {
+            data: bytes.freeze(),
+        }
+    }
+
+    /// [`Self::with_macs`] drawing its buffer from a [`BufferPool`] —
+    /// the per-packet forwarding path of the LB, where a fresh
+    /// allocation per hop is the dominant allocator cost.
+    pub fn with_macs_pooled(
+        &self,
+        src_mac: MacAddr,
+        dst_mac: MacAddr,
+        pool: &mut BufferPool,
+    ) -> Packet {
+        let mut bytes = pool.take(self.data.len());
+        bytes.extend_from_slice(&self.data);
         bytes[0..6].copy_from_slice(&dst_mac.0);
         bytes[6..12].copy_from_slice(&src_mac.0);
         Packet {
@@ -141,22 +208,25 @@ impl Packet {
     }
 }
 
-/// A fully parsed view of a TCP/IPv4 frame.
+/// A borrowed, zero-copy parsed view of a TCP/IPv4 frame: headers are
+/// decoded into fixed-size structs, the payload stays a slice into the
+/// original frame. This is the parse for per-packet processing — use
+/// [`PacketView`] only when the payload must outlive the frame.
 #[derive(Debug, Clone)]
-pub struct PacketView {
+pub struct PacketViewRef<'a> {
     /// Ethernet header.
     pub eth: EthHeader,
     /// IPv4 header.
     pub ip: Ipv4Header,
     /// TCP header.
     pub tcp: TcpHeader,
-    /// TCP payload bytes.
-    pub payload: Bytes,
+    /// TCP payload bytes, borrowed from the frame.
+    pub payload: &'a [u8],
 }
 
-impl PacketView {
-    /// Parses a frame, verifying both checksums.
-    pub fn parse(frame: &[u8]) -> Result<PacketView> {
+impl<'a> PacketViewRef<'a> {
+    /// Parses a frame, verifying both checksums, without copying.
+    pub fn parse(frame: &'a [u8]) -> Result<PacketViewRef<'a>> {
         let eth = EthHeader::parse(frame)?;
         let ip_bytes = &frame[ETH_HEADER_LEN..];
         let ip = Ipv4Header::parse(ip_bytes)?;
@@ -174,13 +244,61 @@ impl PacketView {
         let tcp = TcpHeader::parse(l4, Some((&ip, l4)))?;
         let payload_off = ETH_HEADER_LEN + IPV4_HEADER_LEN + TCP_HEADER_LEN;
         let payload_len = l4.len() - TCP_HEADER_LEN;
-        let payload = Bytes::copy_from_slice(&frame[payload_off..payload_off + payload_len]);
-        Ok(PacketView {
+        let payload = &frame[payload_off..payload_off + payload_len];
+        Ok(PacketViewRef {
             eth,
             ip,
             tcp,
             payload,
         })
+    }
+
+    /// The four-tuple of this packet's direction of travel.
+    pub fn flow(&self) -> crate::FlowKey {
+        crate::FlowKey::from_headers(&self.ip, &self.tcp)
+    }
+
+    /// Length of the TCP payload in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True if any of SYN/FIN/RST is set (connection lifecycle packets).
+    pub fn is_lifecycle(&self) -> bool {
+        self.tcp.flags.contains(TcpFlags::SYN)
+            || self.tcp.flags.contains(TcpFlags::FIN)
+            || self.tcp.flags.contains(TcpFlags::RST)
+    }
+
+    /// Copies the payload out, detaching the view from the frame.
+    pub fn to_owned(&self) -> PacketView {
+        PacketView {
+            eth: self.eth,
+            ip: self.ip,
+            tcp: self.tcp,
+            payload: Bytes::copy_from_slice(self.payload),
+        }
+    }
+}
+
+/// A fully parsed, owning view of a TCP/IPv4 frame (the payload is
+/// copied out). Prefer [`PacketViewRef`] on per-packet paths.
+#[derive(Debug, Clone)]
+pub struct PacketView {
+    /// Ethernet header.
+    pub eth: EthHeader,
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// TCP header.
+    pub tcp: TcpHeader,
+    /// TCP payload bytes.
+    pub payload: Bytes,
+}
+
+impl PacketView {
+    /// Parses a frame, verifying both checksums.
+    pub fn parse(frame: &[u8]) -> Result<PacketView> {
+        PacketViewRef::parse(frame).map(|v| v.to_owned())
     }
 
     /// The four-tuple of this packet's direction of travel.

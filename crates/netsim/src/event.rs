@@ -1,4 +1,13 @@
-//! The event queue: a binary heap with a total, deterministic order.
+//! The event queue: an indexed binary heap with a total, deterministic
+//! order.
+//!
+//! Ordering state (`at`, `seq`) lives in compact copyable heap entries;
+//! event payloads sit in a slab indexed by slot, so heap sifts move 24
+//! bytes instead of a full [`EventKind`] (which carries a packet on the
+//! hottest variant). The slab also buys O(1) cancellation: a cancelled
+//! event's slot is vacated and its heap entry is simply skipped when it
+//! surfaces — no re-heapify. A sequence-number guard makes slot reuse
+//! safe while stale heap entries are still queued.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -80,20 +89,29 @@ pub struct Event {
     pub kind: EventKind,
 }
 
-impl PartialEq for Event {
+/// Ordering data only — the payload stays in the slab so heap sifts move
+/// 24 bytes, not a whole [`EventKind`].
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    at: Time,
+    seq: u64,
+    slot: u32,
+}
+
+impl PartialEq for HeapEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl Eq for Event {}
+impl Eq for HeapEntry {}
 
-impl PartialOrd for Event {
+impl PartialOrd for HeapEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl Ord for Event {
+impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; reverse so the earliest event is popped
         // first, with the lowest sequence number winning ties.
@@ -104,11 +122,32 @@ impl Ord for Event {
     }
 }
 
+/// A slab slot. `seq` guards against stale heap entries after the slot
+/// is vacated and reused: an entry only fires the payload whose sequence
+/// number it was pushed with.
+#[derive(Debug)]
+enum Slot {
+    Vacant,
+    Occupied { seq: u64, kind: EventKind },
+}
+
+/// Handle to a scheduled event, for O(1) cancellation. Stale handles
+/// (the event already fired, or was cancelled) are harmless: the
+/// sequence-number guard makes [`EventQueue::cancel`] a no-op for them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventHandle {
+    slot: u32,
+    seq: u64,
+}
+
 /// A deterministic future-event list.
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Event>,
+    heap: BinaryHeap<HeapEntry>,
+    slab: Vec<Slot>,
+    free: Vec<u32>,
     next_seq: u64,
+    live: usize,
 }
 
 impl EventQueue {
@@ -117,31 +156,88 @@ impl EventQueue {
         Self::default()
     }
 
-    /// Schedules `kind` to fire at `at`.
-    pub fn push(&mut self, at: Time, kind: EventKind) {
+    /// Schedules `kind` to fire at `at`. The returned handle cancels the
+    /// event in O(1); callers that never cancel can ignore it.
+    pub fn push(&mut self, at: Time, kind: EventKind) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = Slot::Occupied { seq, kind };
+                slot
+            }
+            None => {
+                let slot = self.slab.len() as u32;
+                self.slab.push(Slot::Occupied { seq, kind });
+                slot
+            }
+        };
+        self.live += 1;
+        self.heap.push(HeapEntry { at, seq, slot });
+        EventHandle { slot, seq }
     }
 
-    /// Pops the next event in `(time, seq)` order.
+    /// Cancels a pending event without touching the heap: the slot is
+    /// vacated now and the orphaned heap entry is skipped when it
+    /// surfaces. Returns false when the event already fired or was
+    /// cancelled (stale handle).
+    pub fn cancel(&mut self, h: EventHandle) -> bool {
+        match self.slab.get(h.slot as usize) {
+            Some(Slot::Occupied { seq, .. }) if *seq == h.seq => {
+                self.slab[h.slot as usize] = Slot::Vacant;
+                self.free.push(h.slot);
+                self.live -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Pops the next live event in `(time, seq)` order, discarding any
+    /// orphaned entries for cancelled events along the way.
     pub fn pop(&mut self) -> Option<Event> {
-        self.heap.pop()
+        while let Some(entry) = self.heap.pop() {
+            let slot = entry.slot as usize;
+            let live = matches!(&self.slab[slot], Slot::Occupied { seq, .. } if *seq == entry.seq);
+            if !live {
+                continue; // cancelled; its slot may already host a newer event
+            }
+            if let Slot::Occupied { kind, .. } =
+                std::mem::replace(&mut self.slab[slot], Slot::Vacant)
+            {
+                self.free.push(entry.slot);
+                self.live -= 1;
+                return Some(Event {
+                    at: entry.at,
+                    seq: entry.seq,
+                    kind,
+                });
+            }
+        }
+        None
     }
 
-    /// The firing time of the next event, if any.
-    pub fn peek_time(&self) -> Option<Time> {
-        self.heap.peek().map(|e| e.at)
+    /// The firing time of the next live event, if any (drains orphaned
+    /// entries off the top, hence `&mut`).
+    pub fn peek_time(&mut self) -> Option<Time> {
+        while let Some(entry) = self.heap.peek() {
+            let live = matches!(&self.slab[entry.slot as usize], Slot::Occupied { seq, .. } if *seq == entry.seq);
+            if live {
+                return Some(entry.at);
+            }
+            self.heap.pop();
+        }
+        None
     }
 
-    /// Number of pending events.
+    /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live == 0
     }
 }
 
@@ -156,19 +252,22 @@ mod tests {
         }
     }
 
+    fn drain_tokens(q: &mut EventQueue) -> Vec<u64> {
+        std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { token, .. } => token.0,
+                _ => unreachable!(),
+            })
+            .collect()
+    }
+
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
         q.push(Time::from_nanos(30), timer(0, 3));
         q.push(Time::from_nanos(10), timer(0, 1));
         q.push(Time::from_nanos(20), timer(0, 2));
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        assert_eq!(drain_tokens(&mut q), vec![1, 2, 3]);
     }
 
     #[test]
@@ -177,13 +276,7 @@ mod tests {
         for i in 0..100 {
             q.push(Time::from_nanos(5), timer(0, i));
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Timer { token, .. } => token.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
+        assert_eq!(drain_tokens(&mut q), (0..100).collect::<Vec<_>>());
     }
 
     #[test]
@@ -196,5 +289,55 @@ mod tests {
         assert!(!q.is_empty());
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn cancelled_event_never_fires() {
+        let mut q = EventQueue::new();
+        q.push(Time::from_nanos(10), timer(0, 1));
+        let h = q.push(Time::from_nanos(20), timer(0, 2));
+        q.push(Time::from_nanos(30), timer(0, 3));
+        assert!(q.cancel(h));
+        assert_eq!(q.len(), 2);
+        assert_eq!(drain_tokens(&mut q), vec![1, 3]);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_stale_handles_are_harmless() {
+        let mut q = EventQueue::new();
+        let h = q.push(Time::from_nanos(10), timer(0, 1));
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "second cancel must be a no-op");
+        assert_eq!(q.pop().map(|e| e.seq), None);
+        // A handle whose event already fired must not cancel anything.
+        let h2 = q.push(Time::from_nanos(20), timer(0, 2));
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(h2));
+    }
+
+    #[test]
+    fn slot_reuse_preserves_order_despite_stale_heap_entries() {
+        let mut q = EventQueue::new();
+        // Occupy then cancel, so the slot returns to the free list while
+        // its heap entry is still queued.
+        let h = q.push(Time::from_nanos(50), timer(0, 99));
+        assert!(q.cancel(h));
+        // The reused slot's event fires at its own time, earlier than the
+        // orphaned entry's time.
+        q.push(Time::from_nanos(10), timer(0, 1));
+        q.push(Time::from_nanos(20), timer(0, 2));
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(10)));
+        assert_eq!(drain_tokens(&mut q), vec![1, 2]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let h = q.push(Time::from_nanos(10), timer(0, 1));
+        q.push(Time::from_nanos(20), timer(0, 2));
+        assert!(q.cancel(h));
+        assert_eq!(q.peek_time(), Some(Time::from_nanos(20)));
+        assert_eq!(drain_tokens(&mut q), vec![2]);
     }
 }

@@ -57,6 +57,7 @@ pub mod sim;
 pub mod time;
 pub mod trace;
 
+pub use event::EventHandle;
 pub use fault::{FaultAction, FaultSchedule, ImpairmentConfig};
 pub use link::{LinkConfig, LinkDirStats, LinkId};
 pub use node::{Ctx, Node, NodeId, TimerToken};

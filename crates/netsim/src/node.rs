@@ -2,9 +2,10 @@
 
 use std::any::Any;
 
+use netpkt::pool::BufferPool;
 use netpkt::Packet;
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{EventHandle, EventKind, EventQueue};
 use crate::link::{Link, LinkId, TxOutcome};
 use crate::time::{Duration, Time};
 use crate::trace::{Trace, TraceKind};
@@ -21,9 +22,10 @@ impl core::fmt::Display for NodeId {
 
 /// An opaque timer identifier chosen by the node that arms the timer.
 ///
-/// Timers are *not* cancellable; nodes implement cancellation lazily by
-/// ignoring stale tokens (the standard discrete-event idiom — it keeps the
-/// queue a plain heap).
+/// Timers can be cancelled in O(1) through the [`EventHandle`] returned
+/// by [`Ctx::arm_timer`]; nodes may also keep the older lazy idiom of
+/// ignoring stale tokens — both cost no re-heapify (the indexed queue
+/// skips dead entries as they surface).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerToken(pub u64);
 
@@ -55,6 +57,7 @@ pub struct Ctx<'a> {
     pub(crate) queue: &'a mut EventQueue,
     pub(crate) links: &'a mut [Link],
     pub(crate) trace: &'a mut Trace,
+    pub(crate) pool: &'a mut BufferPool,
 }
 
 impl Ctx<'_> {
@@ -66,6 +69,14 @@ impl Ctx<'_> {
     /// This node's id.
     pub fn node_id(&self) -> NodeId {
         self.node
+    }
+
+    /// The simulation's shared packet-buffer pool. Draw per-hop copy
+    /// buffers from here ([`netpkt::Packet::with_macs_pooled`]) and hand
+    /// consumed packets back with [`BufferPool::recycle`]; pooling never
+    /// changes packet contents or timing, only allocator traffic.
+    pub fn pool(&mut self) -> &mut BufferPool {
+        self.pool
     }
 
     /// Transmits `pkt` on `link`. The packet is delivered to the peer after
@@ -82,6 +93,7 @@ impl Ctx<'_> {
         if self.node_down {
             self.trace
                 .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+            self.pool.recycle(pkt);
             return;
         }
         let l = &mut self.links[link.0 as usize];
@@ -100,6 +112,7 @@ impl Ctx<'_> {
                         dir.stats.packets_corrupted += 1;
                         self.trace
                             .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+                        self.pool.recycle(pkt);
                         return;
                     }
                     if imp.rng.gen_bool(imp.cfg.duplicate_p) {
@@ -136,24 +149,27 @@ impl Ctx<'_> {
             TxOutcome::Dropped => {
                 self.trace
                     .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+                self.pool.recycle(pkt);
             }
         }
     }
 
     /// Arms a timer that fires `after` from now, delivering `token` to
-    /// [`Node::on_timer`].
-    pub fn arm_timer(&mut self, after: Duration, token: TimerToken) {
+    /// [`Node::on_timer`]. The returned handle cancels it in O(1) via
+    /// [`Ctx::cancel_timer`]; nodes that instead ignore stale tokens
+    /// lazily (the pre-handle idiom) can drop it.
+    pub fn arm_timer(&mut self, after: Duration, token: TimerToken) -> EventHandle {
         self.queue.push(
             self.now + after,
             EventKind::Timer {
                 node: self.node,
                 token,
             },
-        );
+        )
     }
 
     /// Arms a timer at an absolute instant (must not be in the past).
-    pub fn arm_timer_at(&mut self, at: Time, token: TimerToken) {
+    pub fn arm_timer_at(&mut self, at: Time, token: TimerToken) -> EventHandle {
         debug_assert!(at >= self.now, "timer armed in the past");
         self.queue.push(
             at,
@@ -161,7 +177,14 @@ impl Ctx<'_> {
                 node: self.node,
                 token,
             },
-        );
+        )
+    }
+
+    /// Cancels a timer armed by this node. Stale handles (already fired
+    /// or cancelled) return false and change nothing — no re-heapify
+    /// happens either way.
+    pub fn cancel_timer(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
     }
 
     /// Current additional injected delay on `link` in the direction away

@@ -2,6 +2,8 @@
 
 use std::any::Any;
 
+use netpkt::pool::BufferPool;
+
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{ImpairmentConfig, LinkImpairment};
 use crate::link::{Link, LinkConfig, LinkId};
@@ -32,6 +34,9 @@ pub struct Simulation {
     node_down: Vec<bool>,
     links: Vec<Link>,
     trace: Trace,
+    /// Shared packet-buffer pool: per-hop copies draw from here and
+    /// consumed packets are recycled back, via [`Ctx::pool`].
+    pool: BufferPool,
     stats: SimStats,
     started: bool,
     /// Safety valve: abort if a run dispatches more events than this.
@@ -55,6 +60,7 @@ impl Simulation {
             node_down: Vec::new(),
             links: Vec::new(),
             trace: Trace::new(),
+            pool: BufferPool::default(),
             stats: SimStats::default(),
             started: false,
             max_events: u64::MAX,
@@ -106,6 +112,11 @@ impl Simulation {
     /// Run counters so far.
     pub fn stats(&self) -> SimStats {
         self.stats
+    }
+
+    /// Packet-buffer pool counters (hit/miss/recycle rates).
+    pub fn pool_stats(&self) -> netpkt::PoolStats {
+        self.pool.stats()
     }
 
     /// Access to the trace buffer.
@@ -244,6 +255,7 @@ impl Simulation {
             queue: &mut self.queue,
             links: &mut self.links,
             trace: &mut self.trace,
+            pool: &mut self.pool,
         };
         f(node.as_mut(), &mut ctx);
         self.nodes[id.0 as usize] = Some(node);
@@ -277,6 +289,7 @@ impl Simulation {
                         // The receiver is crashed: the frame dies at its NIC.
                         self.trace
                             .record(self.now, node, TraceKind::Drop, link, &pkt);
+                        self.pool.recycle(pkt);
                         continue;
                     }
                     self.stats.packets_delivered += 1;

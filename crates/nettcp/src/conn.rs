@@ -286,14 +286,32 @@ impl Conn {
         std::mem::take(&mut self.out)
     }
 
+    /// Drains outgoing segments into `out`. Unlike [`Self::take_segments`]
+    /// this preserves both buffers' capacity (`Vec::append` moves the
+    /// elements only), so a host's drain loop is allocation-free in steady
+    /// state.
+    pub fn take_segments_into(&mut self, out: &mut Vec<SegmentOut>) {
+        out.append(&mut self.out);
+    }
+
     /// Drains application events.
     pub fn take_events(&mut self) -> Vec<ConnEvent> {
         std::mem::take(&mut self.events)
     }
 
+    /// Capacity-preserving variant of [`Self::take_events`].
+    pub fn take_events_into(&mut self, out: &mut Vec<ConnEvent>) {
+        out.append(&mut self.events);
+    }
+
     /// Drains timer arm/cancel requests.
     pub fn take_timer_requests(&mut self) -> Vec<TimerRequest> {
         std::mem::take(&mut self.timer_reqs)
+    }
+
+    /// Capacity-preserving variant of [`Self::take_timer_requests`].
+    pub fn take_timer_requests_into(&mut self, out: &mut Vec<TimerRequest>) {
+        out.append(&mut self.timer_reqs);
     }
 
     /// True if any queue holds pending work for the host.

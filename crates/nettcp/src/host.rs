@@ -11,7 +11,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::net::Ipv4Addr;
 
-use netpkt::{FlowKey, MacAddr, Packet, PacketView, TcpHeader};
+use netpkt::{FlowKey, MacAddr, Packet, TcpHeader};
 use netsim::rng::SimRng;
 use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
 
@@ -109,6 +109,12 @@ pub struct Host {
     /// monotone, so a deque suffices.
     rx_queue: VecDeque<(Time, Packet)>,
     last_rx_ready: Time,
+    /// Reusable drain buffers for [`Host::drain_work`] — the per-cycle
+    /// segment/timer/event queues are appended here instead of being
+    /// `mem::take`n, so the drain loop allocates nothing in steady state.
+    scratch_segs: Vec<crate::conn::SegmentOut>,
+    scratch_reqs: Vec<TimerRequest>,
+    scratch_events: Vec<ConnEvent>,
     /// Counters.
     pub stats: HostStats,
 }
@@ -134,6 +140,9 @@ impl Host {
             pending: VecDeque::new(),
             rx_queue: VecDeque::new(),
             last_rx_ready: Time::ZERO,
+            scratch_segs: Vec::new(),
+            scratch_reqs: Vec::new(),
+            scratch_events: Vec::new(),
             stats: HostStats::default(),
         }
     }
@@ -182,15 +191,22 @@ impl Host {
     // ------------------------------------------------------------- packet path
 
     fn process_frame(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        let view = match PacketView::parse(&pkt.data) {
+        // `view()` slices the payload out of the frame zero-copy; the frame
+        // buffer is recycled once the stack has consumed it (a retained
+        // out-of-order payload keeps the buffer alive and the pool simply
+        // declines it).
+        let view = match pkt.view() {
             Ok(v) => v,
             Err(_) => {
                 self.stats.parse_errors += 1;
+                ctx.pool().recycle(pkt);
                 return;
             }
         };
         if !self.is_local_ip(view.ip.dst) {
             self.stats.no_match += 1;
+            drop(view);
+            ctx.pool().recycle(pkt);
             return;
         }
         let key = view.flow();
@@ -199,6 +215,7 @@ impl Host {
                 conn.on_segment(ctx.now(), &view.tcp, view.payload);
                 self.enqueue(idx);
                 self.drain_work(ctx);
+                ctx.pool().recycle(pkt);
                 return;
             }
         }
@@ -217,7 +234,9 @@ impl Host {
             let idx = self.alloc_conn(conn);
             self.by_flow.insert(key, idx);
             self.enqueue(idx);
+            drop(view);
             self.drain_work(ctx);
+            ctx.pool().recycle(pkt);
             return;
         }
         self.stats.no_match += 1;
@@ -235,18 +254,24 @@ impl Host {
             if flags.contains(netpkt::TcpFlags::SYN) || flags.contains(netpkt::TcpFlags::FIN) {
                 ack = ack.wrapping_add(1);
             }
+            let (src_ip, dst_ip) = (view.ip.dst, view.ip.src);
+            let (src_port, dst_port) = (view.tcp.dst_port, view.tcp.src_port);
+            // Hand the offending frame back first so its buffer can back
+            // the RST we are about to build.
+            drop(view);
+            ctx.pool().recycle(pkt);
             let ident = self.next_ident;
             self.next_ident = self.next_ident.wrapping_add(1);
-            let rst = Packet::build_tcp(
+            let rst = Packet::build_tcp_pooled(
                 netpkt::Addresses {
                     src_mac: self.mac,
                     dst_mac: MacAddr::from_id(0),
-                    src_ip: view.ip.dst,
-                    dst_ip: view.ip.src,
+                    src_ip,
+                    dst_ip,
                 },
                 &TcpHeader {
-                    src_port: view.tcp.dst_port,
-                    dst_port: view.tcp.src_port,
+                    src_port,
+                    dst_port,
                     seq,
                     ack,
                     flags: netpkt::TcpFlags::RST | netpkt::TcpFlags::ACK,
@@ -255,9 +280,13 @@ impl Host {
                 &[],
                 64,
                 ident,
+                ctx.pool(),
             );
             self.stats.packets_out += 1;
             ctx.send(self.uplink, rst);
+        } else {
+            drop(view);
+            ctx.pool().recycle(pkt);
         }
     }
 
@@ -269,20 +298,26 @@ impl Host {
     /// → node timers, events → application callbacks (which may generate
     /// more work; the loop runs until quiescent).
     fn drain_work(&mut self, ctx: &mut Ctx<'_>) {
+        // The per-cycle queues are appended into reusable buffers
+        // (capacity is kept on both sides), drained, and handed back on
+        // exit — the loop allocates nothing in steady state.
+        let mut segs = std::mem::take(&mut self.scratch_segs);
+        let mut reqs = std::mem::take(&mut self.scratch_reqs);
+        let mut events = std::mem::take(&mut self.scratch_events);
         while let Some(idx) = self.pending.pop_front() {
             let Some(conn) = self.conns[idx].as_mut() else {
                 continue;
             };
-            let segs = conn.take_segments();
-            let reqs = conn.take_timer_requests();
-            let events = conn.take_events();
+            conn.take_segments_into(&mut segs);
+            conn.take_timer_requests_into(&mut reqs);
+            conn.take_events_into(&mut events);
 
-            for seg in &segs {
-                let pkt = self.build_packet(idx, seg);
+            for seg in segs.drain(..) {
+                let pkt = self.build_packet(idx, &seg, ctx.pool());
                 self.stats.packets_out += 1;
                 ctx.send(self.uplink, pkt);
             }
-            for req in reqs {
+            for req in reqs.drain(..) {
                 match req {
                     TimerRequest::Arm(kind, at) => {
                         let gen = self.next_gen;
@@ -297,7 +332,7 @@ impl Host {
                     }
                 }
             }
-            for ev in events {
+            for ev in events.drain(..) {
                 self.dispatch_event(ctx, idx, ev);
             }
 
@@ -317,6 +352,9 @@ impl Host {
                 self.stats.conns_closed += 1;
             }
         }
+        self.scratch_segs = segs;
+        self.scratch_reqs = reqs;
+        self.scratch_events = events;
     }
 
     fn dispatch_event(&mut self, ctx: &mut Ctx<'_>, idx: usize, ev: ConnEvent) {
@@ -334,13 +372,18 @@ impl Host {
         self.app = Some(app);
     }
 
-    fn build_packet(&mut self, idx: usize, seg: &crate::conn::SegmentOut) -> Packet {
+    fn build_packet(
+        &mut self,
+        idx: usize,
+        seg: &crate::conn::SegmentOut,
+        pool: &mut netpkt::BufferPool,
+    ) -> Packet {
         let conn = self.conns[idx].as_ref().expect("segment from live conn");
         let (lip, lport) = conn.local();
         let (rip, rport) = conn.remote();
         let ident = self.next_ident;
         self.next_ident = self.next_ident.wrapping_add(1);
-        Packet::build_tcp(
+        Packet::build_tcp_pooled(
             // The next hop is resolved by routing, not by MAC.
             netpkt::Addresses {
                 src_mac: self.mac,
@@ -359,6 +402,7 @@ impl Host {
             &seg.payload,
             64,
             ident,
+            pool,
         )
     }
 }

@@ -30,4 +30,12 @@ cargo test -q --release --test determinism --test dsr_invariants \
     --test health_ejection --test paper_claims
 cargo test -q -p lbcore --test proptests
 
+# Perf snapshot: quick variants of the pinned perfbench scenarios.
+# Non-gating — numbers are host-dependent; the artifact is for trend
+# tracking (see EXPERIMENTS.md "Performance"), not pass/fail.
+echo "==> perfbench --quick (non-gating)"
+cargo run -q --release -p bench --bin perfbench -- --quick \
+    --out BENCH_perf_quick.json \
+    || echo "perfbench failed (non-gating); continuing"
+
 echo "All checks passed."

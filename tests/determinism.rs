@@ -76,6 +76,20 @@ fn chaos_trace_hash(seed: u64) -> (u64, usize) {
     fold_trace(&cluster.sim)
 }
 
+/// Runs the Fig. 2 bulk-transfer scenario (one window-limited TCP flow
+/// through the LB) for 300 ms and hashes the trace. Covers the nettcp
+/// retransmit/ACK machinery and the LB forwarding path without the KV
+/// application on top.
+fn bulk_trace_hash(seed: u64) -> (u64, usize) {
+    use experiments::{BacklogScenario, BacklogScenarioConfig};
+    let mut cfg = BacklogScenarioConfig::fig2_defaults();
+    cfg.seed = seed;
+    let mut scenario = BacklogScenario::build(cfg);
+    scenario.sim.enable_trace(1 << 21);
+    scenario.sim.run_for(Duration::from_millis(300));
+    fold_trace(&scenario.sim)
+}
+
 /// Same seed → bit-identical packet schedule, event for event.
 #[test]
 fn same_seed_reproduces_the_exact_trace() {
@@ -113,4 +127,45 @@ fn chaos_different_seed_changes_the_trace() {
     let (h1, _) = chaos_trace_hash(23);
     let (h2, _) = chaos_trace_hash(24);
     assert_ne!(h1, h2, "seed had no effect on the chaos trace");
+}
+
+// ---------------------------------------------------------------------------
+// Pinned trace hashes.
+//
+// The tests above prove run-to-run stability *within* one build; these
+// constants pin the schedule *across* builds. They were captured before
+// the hot-path optimization pass (indexed event queue, packet-buffer
+// pool, zero-copy parse, rebuild de-cloning) and must never move: a perf
+// change that alters any hash has changed packet timing or ordering, not
+// just speed. If a *semantic* change legitimately moves a schedule,
+// re-pin in the same commit and say why in its message.
+
+/// Fig. 3 KV cluster, seed 17, 600 ms: pinned packet schedule.
+#[test]
+fn fig3_trace_hash_is_pinned() {
+    assert_eq!(
+        trace_hash(17, 600),
+        (0xa0af_927b_c332_dae6, 787_483),
+        "fig3 packet schedule changed",
+    );
+}
+
+/// Chaos crash/restart scenario, seed 23: pinned packet schedule.
+#[test]
+fn chaos_trace_hash_is_pinned() {
+    assert_eq!(
+        chaos_trace_hash(23),
+        (0x28d8_4f06_7a78_d8c9, 2_070_418),
+        "chaos packet schedule changed",
+    );
+}
+
+/// Fig. 2 bulk transfer, seed 7, 300 ms: pinned packet schedule.
+#[test]
+fn bulk_trace_hash_is_pinned() {
+    assert_eq!(
+        bulk_trace_hash(7),
+        (0x3043_0b41_5f00_79ae, 24_742),
+        "bulk packet schedule changed",
+    );
 }

@@ -6,7 +6,14 @@
 //! [`BytesMut`] (a growable buffer that freezes into `Bytes`), and the
 //! [`BufMut`] write helpers. Semantics match the real crate for the
 //! covered surface; performance characteristics are close enough for a
-//! discrete-event simulator (clone is an `Arc` bump, `slice` is O(1)).
+//! discrete-event simulator (clone is an `Arc` bump, `slice` is O(1),
+//! and [`BytesMut::freeze`] hands its allocation over without copying).
+//!
+//! The backing store is `Arc<Vec<u8>>` rather than `Arc<[u8]>`: freezing
+//! a `Vec` into `Arc<[u8]>` must re-copy the bytes (the slice is stored
+//! inline with its header), while wrapping the `Vec` only allocates the
+//! small `Arc` header — and [`Bytes::try_recycle`] can hand the `Vec`
+//! back out for buffer pooling when the handle is unique.
 
 use std::borrow::Borrow;
 use std::fmt;
@@ -17,7 +24,7 @@ use std::sync::Arc;
 /// A cheaply clonable, immutable, reference-counted byte buffer.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     start: usize,
     end: usize,
 }
@@ -36,13 +43,16 @@ impl Bytes {
 
     /// Creates `Bytes` by copying the given slice.
     pub fn copy_from_slice(data: &[u8]) -> Bytes {
-        let arc: Arc<[u8]> = Arc::from(data);
-        let end = arc.len();
-        Bytes {
-            data: arc,
-            start: 0,
-            end,
-        }
+        Bytes::from(data.to_vec())
+    }
+
+    /// Recovers the underlying allocation when this handle is the only
+    /// one alive, for reuse as a scratch buffer (buffer pooling). The
+    /// returned `Vec` holds this view's whole backing buffer, not just
+    /// the viewed range — callers are expected to `clear()` it. Returns
+    /// `None` (dropping the buffer normally) when other clones exist.
+    pub fn try_recycle(self) -> Option<Vec<u8>> {
+        Arc::try_unwrap(self.data).ok()
     }
 
     /// Length of the view in bytes.
@@ -109,10 +119,9 @@ impl Borrow<[u8]> for Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
-        let arc: Arc<[u8]> = Arc::from(v.into_boxed_slice());
-        let end = arc.len();
+        let end = v.len();
         Bytes {
-            data: arc,
+            data: Arc::new(v),
             start: 0,
             end,
         }
@@ -359,6 +368,22 @@ mod tests {
         let tail = frozen.slice(2..);
         assert_eq!(&tail[..], b"xyz");
         assert_eq!(tail.slice(1..2), Bytes::copy_from_slice(b"y"));
+    }
+
+    #[test]
+    fn try_recycle_requires_a_unique_handle() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let c = b.clone();
+        assert!(c.try_recycle().is_none(), "shared handle must not recycle");
+        let v = b.try_recycle().expect("now unique");
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn recycled_vec_covers_whole_buffer_not_the_view() {
+        let tail = Bytes::from(vec![9, 8, 7, 6]).slice(2..);
+        assert_eq!(&tail[..], &[7, 6]);
+        assert_eq!(tail.try_recycle().expect("unique"), vec![9, 8, 7, 6]);
     }
 
     #[test]

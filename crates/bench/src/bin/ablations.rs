@@ -2,12 +2,13 @@
 //!
 //! Usage: `cargo run -p bench --release --bin ablations [which]`
 //! where `which` ∈ {epoch, k, alpha, timing, controllers, herd, chaos,
-//! all} (default: all).
+//! multilb, all} (default: all).
 
 use experiments::ablations;
 use experiments::chaos::{chaos_summary_table, chaos_table, run_chaos, ChaosConfig};
 use experiments::fig2::Fig2Config;
 use experiments::fig3::Fig3Config;
+use experiments::multilb::{multilb_sweep, multilb_table, GossipParams, MultiLbConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,6 +35,11 @@ fn main() {
         println!();
         chaos_summary_table(&r).print();
     };
+    let run_multilb = || {
+        let base = MultiLbConfig::default();
+        let runs = multilb_sweep(&base, &[1, 2, 4, 8], GossipParams::default());
+        multilb_table(&base, &runs).print();
+    };
 
     match which {
         "epoch" => run_epoch(),
@@ -46,6 +52,7 @@ fn main() {
         "failover" => run_failover(),
         "oob" => run_oob(),
         "chaos" => run_chaos(),
+        "multilb" => run_multilb(),
         "timing" => run_timing(),
         "controllers" => run_ctl(),
         "herd" => run_herd(),
@@ -77,11 +84,13 @@ fn main() {
             println!();
             run_chaos();
             println!();
+            run_multilb();
+            println!();
             run_herd();
         }
         other => {
             eprintln!(
-                "unknown ablation '{other}'; use epoch|k|alpha|margin|timing|controllers|cliff|far|congestion|pcc|failover|oob|chaos|herd|all"
+                "unknown ablation '{other}'; use epoch|k|alpha|margin|timing|controllers|cliff|far|congestion|pcc|failover|oob|chaos|multilb|herd|all"
             );
             std::process::exit(2);
         }

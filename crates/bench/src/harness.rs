@@ -1,10 +1,11 @@
 //! BENCH-PERF: the reusable perf-bench harness behind the `perfbench`
 //! binary.
 //!
-//! Four pinned macro-scenarios cover the simulator's hot paths from the
+//! Five pinned macro-scenarios cover the simulator's hot paths from the
 //! bottom up — raw event churn (nothing but the queue, links, and packet
 //! delivery), a bulk TCP transfer through the LB, the Fig. 3 two-backend
-//! KV workload, and the chaos crash/restart scenario — and each run is
+//! KV workload, the chaos crash/restart scenario, and the 4-LB ECMP
+//! tier with weight gossip — and each run is
 //! summarised as events/sec, simulated-packets/sec, wall time, peak RSS,
 //! and (behind the `bench-alloc` feature) allocation counts. Results are
 //! emitted as a schema-versioned `BENCH_perf.json` so successive PRs
@@ -17,6 +18,9 @@
 use std::net::Ipv4Addr;
 
 use experiments::chaos::{build_chaos_cluster, ChaosConfig};
+use experiments::multilb::{
+    build_multilb_cluster, run_multilb_cluster, GossipParams, MultiLbConfig,
+};
 use experiments::topology::VIP;
 use experiments::{BacklogScenario, BacklogScenarioConfig, KvCluster, KvClusterConfig};
 use lb_dataplane::LbConfig;
@@ -29,7 +33,7 @@ use netsim::{Ctx, Duration, LinkConfig, LinkId, Node, SimStats, Simulation, Time
 pub const SCHEMA_VERSION: u32 = 1;
 
 /// The pinned scenario names, in report order.
-pub const SCENARIOS: &[&str] = &["netsim_churn", "nettcp_bulk", "fig3_kv", "chaos"];
+pub const SCENARIOS: &[&str] = &["netsim_churn", "nettcp_bulk", "fig3_kv", "chaos", "multilb"];
 
 #[cfg(feature = "bench-alloc")]
 mod counting_alloc {
@@ -182,6 +186,7 @@ pub fn run_scenario(name: &str, quick: bool, seed: u64) -> Result<ScenarioResult
         "nettcp_bulk" => run_bulk(if quick { 150 } else { 2000 }, seed),
         "fig3_kv" => run_fig3_kv(if quick { 400 } else { 3000 }, seed),
         "chaos" => run_chaos(quick, seed),
+        "multilb" => run_multilb_bench(if quick { 400 } else { 3000 }, seed),
         other => return Err(format!("unknown scenario '{other}'; known: {SCENARIOS:?}")),
     };
     let wall_ns = start.elapsed().as_nanos() as u64;
@@ -350,6 +355,25 @@ fn run_chaos(quick: bool, seed: u64) -> (u64, SimStats) {
     let sim_ms = cfg.duration.as_nanos() / 1_000_000;
     let mut cluster = build_chaos_cluster(&cfg, true);
     cluster.sim.run_until(Time::ZERO + cfg.duration);
+    (sim_ms, cluster.sim.stats())
+}
+
+/// The multi-LB tier: the fig3 KV workload ECMP-sharded over 4
+/// latency-aware LBs with weight gossip every 50 ms — the rendezvous
+/// router stage, per-shard measurement/control, and the driver-stepped
+/// gossip loop, end to end.
+fn run_multilb_bench(sim_ms: u64, seed: u64) -> (u64, SimStats) {
+    let cfg = MultiLbConfig {
+        n_lbs: 4,
+        duration: Duration::from_millis(sim_ms),
+        inject_at: Duration::from_millis(sim_ms / 2),
+        extra: Duration::from_millis(1),
+        bin: Duration::from_millis(sim_ms / 8),
+        gossip: Some(GossipParams::default()),
+        seed,
+    };
+    let mut cluster = build_multilb_cluster(&cfg);
+    run_multilb_cluster(&mut cluster, &cfg);
     (sim_ms, cluster.sim.stats())
 }
 

@@ -149,6 +149,12 @@ fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
     }
 }
 
+/// Runs only the latency-aware variant — the reference the multi-LB
+/// N=1 conformance suite compares against.
+pub fn run_fig3_aware(cfg: &Fig3Config) -> Fig3Run {
+    run_variant(cfg, true)
+}
+
 /// Runs both variants.
 pub fn run_fig3(cfg: &Fig3Config) -> Fig3Result {
     let baseline = run_variant(cfg, false);

@@ -11,7 +11,9 @@
 //!
 //! plus the ablation suite in [`ablations`] (epoch length, ensemble size,
 //! shift fraction α, §5 timing violations, controller comparison, and
-//! multiple LBs).
+//! multiple LBs) and the scale-out scenarios: [`chaos`] (fault injection
+//! and health ejection) and [`multilb`] (an ECMP-sharded tier of N LBs
+//! with partial-visibility feedback, isolated vs. gossip).
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,6 +23,7 @@ pub mod chaos;
 pub mod config;
 pub mod fig2;
 pub mod fig3;
+pub mod multilb;
 pub mod topology;
 
 pub use topology::{BacklogScenario, BacklogScenarioConfig, KvCluster, KvClusterConfig};

@@ -159,6 +159,14 @@ pub struct KvCluster {
     /// The primary LB's forwarding link per backend — the "LB to server
     /// path" where Fig. 3 injects its delay.
     pub backend_links: Vec<LinkId>,
+    /// The router→LB arm per LB instance — the VIP's ECMP member set.
+    /// Rendezvous-hashing a flow over these (`netsim::ecmp::pick`)
+    /// reproduces the router's shard assignment exactly, which the
+    /// multi-LB invariant tests rely on.
+    pub lb_arms: Vec<LinkId>,
+    /// Every LB's forwarding link per backend: `fwd_links[i][j]` is LB
+    /// `i`'s link to backend `j` (`fwd_links[0]` == `backend_links`).
+    pub fwd_links: Vec<Vec<LinkId>>,
 }
 
 impl KvCluster {
@@ -364,6 +372,8 @@ impl KvCluster {
             backends: backend_nodes,
             router: router_id,
             backend_links,
+            lb_arms,
+            fwd_links,
         }
     }
 
@@ -373,6 +383,19 @@ impl KvCluster {
     pub fn inject_backend_delay(&mut self, j: usize, at: Time, extra: Duration) {
         let link = self.backend_links[j];
         self.sim.schedule_extra_delay(at, link, self.lb, extra);
+    }
+
+    /// Multi-LB variant of [`KvCluster::inject_backend_delay`]: degrades
+    /// backend `j` as seen from *every* LB instance — the Fig. 3 "server
+    /// path slowed" event for a sharded tier, where each LB's forwarding
+    /// link to the backend gains the same `extra` delay at `at`. For a
+    /// single-LB cluster this schedules exactly the one event the fig3
+    /// path schedules, keeping the N=1 degeneracy byte-identical.
+    pub fn inject_backend_delay_all_lbs(&mut self, j: usize, at: Time, extra: Duration) {
+        for (i, links) in self.fwd_links.iter().enumerate() {
+            self.sim
+                .schedule_extra_delay(at, links[j], self.lbs[i], extra);
+        }
     }
 
     /// The client application of client host `i` (after a run).

@@ -184,6 +184,9 @@ pub struct LbStats {
     /// SYN retransmissions into a pin that never produced data — treated
     /// as RTO-abort evidence against the pinned backend.
     pub abort_signals: u64,
+    /// Weight-gossip merges that actually moved the weights (multi-LB
+    /// tier; see [`LbNode::apply_gossip`]).
+    pub gossip_merges: u64,
 }
 
 /// A raw logged sample.
@@ -551,6 +554,38 @@ impl LbNode {
             self.stats.table_rebuilds += 1;
             self.record_weights(now);
         }
+    }
+
+    /// Applies one weight-gossip round (multi-LB tier): blends this LB's
+    /// weights toward the element-wise mean of `peers` — each a peer LB's
+    /// current weight vector — with strength `mix`, re-normalizing
+    /// through the **local** ejection mask so gossip never resurrects a
+    /// backend this LB has ejected. The forwarding table is rebuilt only
+    /// when the merge actually moved a share.
+    ///
+    /// Transport is the caller's problem: the experiment driver steps the
+    /// simulation clock in gossip-period increments, snapshots every LB's
+    /// weights, and calls this on each LB between steps — a deterministic
+    /// all-to-all gossip round with no extra packets in the trace.
+    ///
+    /// Returns false (and changes nothing) for non-controlling configs
+    /// (baseline/observer/p2c), while every backend is ejected, or when
+    /// the merge is a no-op.
+    pub fn apply_gossip(&mut self, peers: &[&[f64]], mix: f64, now: Time) -> bool {
+        if self.cfg.mode != MeasureMode::Control
+            || self.cfg.policy != RoutingPolicy::WeightedMaglev
+            || self.no_backend
+        {
+            return false;
+        }
+        if !lbcore::gossip::merge_weights(&mut self.weights, peers, mix, &self.ejected) {
+            return false;
+        }
+        self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
+        self.stats.table_rebuilds += 1;
+        self.stats.gossip_merges += 1;
+        self.record_weights(now);
+        true
     }
 
     /// One health epoch: feed the tracker the cumulative sample/forward

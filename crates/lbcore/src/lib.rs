@@ -27,6 +27,9 @@
 //! * **Alternative controllers** (§5 open question 4): AIMD and
 //!   latency-proportional weighting, for the controller-comparison
 //!   ablation.
+//! * **[`gossip::merge_weights`]**: mask-respecting weight-gossip merge
+//!   for a sharded LB tier, where each instance learns from only its own
+//!   ECMP flow subset (partial visibility).
 //!
 //! Everything here is simulator-agnostic: inputs are packet timestamps and
 //! flow keys; outputs are latency samples and weight vectors. The
@@ -40,6 +43,7 @@ pub mod ensemble;
 pub mod estimator;
 pub mod fixed_timeout;
 pub mod flow_table;
+pub mod gossip;
 pub mod health;
 pub mod maglev;
 pub mod weights;
@@ -49,6 +53,7 @@ pub use ensemble::{EnsembleConfig, EnsembleFlowState, EnsembleTimeout};
 pub use estimator::BackendEstimator;
 pub use fixed_timeout::{FixedTimeout, FlowTiming};
 pub use flow_table::{FlowEntry, FlowTable};
+pub use gossip::{merge_weights, GossipConfig};
 pub use health::{HealthConfig, HealthState, HealthTracker};
 pub use maglev::MaglevTable;
 pub use weights::Weights;

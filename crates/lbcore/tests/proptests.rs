@@ -398,6 +398,57 @@ proptest! {
         }
     }
 
+    /// Gossip merge, for *every* ejection subset of arbitrary local and
+    /// peer vectors: the merged weights stay normalized (sum 1), ejected
+    /// backends stay at exactly 0.0, survivors respect the floor, and the
+    /// all-ejected case refuses without mutating — the invariant the
+    /// multi-LB tier relies on when shards exchange learned weights while
+    /// disagreeing about backend health.
+    #[test]
+    fn gossip_merge_normalized_for_every_ejection_subset(
+        local_raw in proptest::collection::vec(0.0f64..10.0, 2..6),
+        peer_a in proptest::collection::vec(0.0f64..10.0, 2..6),
+        peer_b in proptest::collection::vec(0.0f64..10.0, 2..6),
+        mix_pct in 0u32..=100,
+    ) {
+        let n = local_raw.len();
+        let floor = 0.02;
+        let mix = mix_pct as f64 / 100.0;
+        for mask_bits in 0u32..(1u32 << n) {
+            let mask: Vec<bool> = (0..n).map(|b| mask_bits & (1 << b) != 0).collect();
+            let survivors = mask.iter().filter(|&&e| !e).count();
+            let mut w = Weights::equal(n, floor);
+            if survivors > 0 {
+                w.set_with_ejections(&local_raw, &mask);
+            }
+            let before: Vec<f64> = w.as_slice().to_vec();
+            // Peers of the wrong length must be skipped, not merged.
+            let peers: Vec<&[f64]> = vec![&peer_a, &peer_b];
+            let changed = lbcore::merge_weights(&mut w, &peers, mix, &mask);
+            let usable_peers = peers.iter().filter(|p| p.len() == n).count();
+            if survivors == 0 || usable_peers == 0 || mix == 0.0 {
+                prop_assert!(!changed, "merge claimed change for mask {:?}", mask);
+                prop_assert_eq!(w.as_slice(), &before[..], "no-op merge mutated");
+                continue;
+            }
+            let sum: f64 = w.as_slice().iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "sum {} for mask {:?}", sum, mask);
+            for b in 0..n {
+                if mask[b] {
+                    prop_assert_eq!(
+                        w.get(b).to_bits(), 0.0f64.to_bits(),
+                        "gossip resurrected ejected backend {}", b
+                    );
+                } else {
+                    prop_assert!(
+                        w.get(b) >= floor - 1e-9,
+                        "survivor {} below floor after merge: {}", b, w.get(b)
+                    );
+                }
+            }
+        }
+    }
+
     /// The flat-head rule never selects a timeout with zero samples while
     /// a nonzero-count timeout exists below it.
     #[test]

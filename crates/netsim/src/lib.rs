@@ -47,6 +47,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod blaster;
+pub mod ecmp;
 pub mod event;
 pub mod fault;
 pub mod link;

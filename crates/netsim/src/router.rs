@@ -66,7 +66,11 @@ impl Router {
     }
 
     /// Adds (or replaces) an ECMP host route: traffic to `dst` is spread
-    /// over `links` by flow hash (per-flow stable, like real ECMP).
+    /// over `links` by rendezvous hashing of the flow hash
+    /// ([`crate::ecmp::pick`]) — per-flow stable like real ECMP, and
+    /// shard-stable: shrinking or growing the link set (via
+    /// [`Router::schedule_route_update`]) remaps only the flows that
+    /// lost their member or that the newcomer wins.
     ///
     /// # Panics
     /// Panics on an empty link set.
@@ -87,12 +91,12 @@ impl Router {
         self.schedule.push((at, dst, links));
     }
 
-    /// Looks up the egress link for a destination and flow hash.
+    /// Looks up the egress link for a destination and flow hash. ECMP
+    /// routes pick by rendezvous hashing, so the result is a pure
+    /// function of `(dst, flow_hash, egress set)`.
     pub fn lookup(&self, dst: Ipv4Addr, flow_hash: u64) -> Option<LinkId> {
         match self.routes.get(&dst) {
-            Some(links) if !links.is_empty() => {
-                Some(links[(flow_hash % links.len() as u64) as usize])
-            }
+            Some(links) if !links.is_empty() => crate::ecmp::pick(flow_hash, links),
             _ => self.default_route,
         }
     }
@@ -358,6 +362,86 @@ mod tests {
         // After the update every packet goes to B: second wave = 32 packets.
         assert!(b >= 32, "B got {b}");
         assert_eq!(sim.node_ref::<Router>(r).unwrap().stats.route_updates, 1);
+    }
+
+    /// Records the source port of every delivered frame, in arrival order.
+    struct FlowRecorder {
+        ports: Vec<u16>,
+    }
+    impl Node for FlowRecorder {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _l: LinkId, p: Packet) {
+            if let Ok(key) = FlowKey::parse(&p.data) {
+                self.ports.push(key.src_port);
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _t: TimerToken) {}
+    }
+
+    #[test]
+    fn ecmp_growth_moves_flows_only_to_the_new_link() {
+        let mut sim = Simulation::new();
+        let r = sim.reserve_node("router");
+        let src = sim.reserve_node("src");
+        let lb_a = sim.add_node("lb-a", Box::new(FlowRecorder { ports: Vec::new() }));
+        let lb_b = sim.add_node("lb-b", Box::new(FlowRecorder { ports: Vec::new() }));
+        let lb_c = sim.add_node("lb-c", Box::new(FlowRecorder { ports: Vec::new() }));
+        let cfg = LinkConfig::default();
+        let l_src = sim.add_link(src, r, cfg);
+        let l_a = sim.add_link(r, lb_a, cfg);
+        let l_b = sim.add_link(r, lb_b, cfg);
+        let l_c = sim.add_link(r, lb_c, cfg);
+        let vip = Ipv4Addr::new(10, 99, 0, 1);
+        let mut router = Router::new();
+        router.add_route_ecmp(vip, vec![l_a, l_b]);
+        // A third LB joins at t = 1 ms.
+        router.schedule_route_update(Time::from_nanos(1_000_000), vip, vec![l_a, l_b, l_c]);
+        sim.install_node(r, Box::new(router));
+
+        let mut packets = Vec::new();
+        for port in 0..64u16 {
+            packets.push((Duration::from_micros(10), pkt_from_to(3000 + port, vip)));
+            packets.push((Duration::from_millis(2), pkt_from_to(3000 + port, vip)));
+        }
+        sim.install_node(
+            src,
+            Box::new(Injector {
+                link: l_src,
+                packets,
+            }),
+        );
+        sim.run_to_completion();
+
+        // Expected owners from the pure rendezvous function.
+        let owner = |port: u16, links: &[LinkId]| {
+            let key = FlowKey::parse(&pkt_from_to(port, vip).data).unwrap();
+            crate::ecmp::pick(key.stable_hash(), links).unwrap()
+        };
+        let got = |id| sim.node_ref::<FlowRecorder>(id).unwrap().ports.clone();
+        let (at_a, at_b, at_c) = (got(lb_a), got(lb_b), got(lb_c));
+        assert!(!at_c.is_empty(), "the new link never won a flow");
+        for port in 3000..3064u16 {
+            let before = owner(port, &[l_a, l_b]);
+            let after = owner(port, &[l_a, l_b, l_c]);
+            // Growth may move a flow only onto the newcomer.
+            assert!(after == before || after == l_c, "flow {port} moved a<->b");
+            // Surviving flows stay put: both packets on the same link, and
+            // FIFO links then guarantee in-flow delivery order.
+            let total_a = at_a.iter().filter(|&&p| p == port).count();
+            let total_b = at_b.iter().filter(|&&p| p == port).count();
+            let total_c = at_c.iter().filter(|&&p| p == port).count();
+            assert_eq!(total_a + total_b + total_c, 2, "flow {port} lost packets");
+            if after == before {
+                // Both packets on the owner's link.
+                let expect_a = if before == l_a { 2 } else { 0 };
+                let expect_b = if before == l_b { 2 } else { 0 };
+                assert_eq!((total_a, total_b, total_c), (expect_a, expect_b, 0));
+            } else {
+                // First packet on the old owner, second on the newcomer.
+                let expect_a = if before == l_a { 1 } else { 0 };
+                let expect_b = if before == l_b { 1 } else { 0 };
+                assert_eq!((total_a, total_b, total_c), (expect_a, expect_b, 1));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,115 @@
+//! Property tests for the rendezvous-hash ECMP stage: the shard-stability
+//! guarantees the multi-LB tier is built on.
+//!
+//! * Determinism: the pick is a pure function of the flow hash and the
+//!   *set* of members — repeats and member reorderings never change it.
+//! * Shrink: removing one member remaps only the flows it owned.
+//! * Growth: adding one member moves flows only onto the newcomer, so a
+//!   surviving flow's packets keep flowing to the same LB (FIFO links
+//!   then guarantee in-order delivery within the flow; the packet-level
+//!   check is `router::tests::ecmp_growth_moves_flows_only_to_the_new_link`).
+
+use proptest::prelude::*;
+
+use netsim::ecmp::pick;
+use netsim::LinkId;
+
+/// 2..10 distinct members with arbitrary (sorted, deduped) link ids.
+fn members() -> impl Strategy<Value = Vec<LinkId>> {
+    proptest::collection::vec(0u32..10_000, 2..10).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter().map(LinkId).collect()
+    })
+}
+
+fn flow_hashes() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..u64::MAX, 1..200)
+}
+
+proptest! {
+    /// Same inputs ⇒ identical shard assignment, regardless of how the
+    /// member set is ordered (so a rebuilt route entry with the same
+    /// members cannot silently reshuffle flows).
+    #[test]
+    fn assignment_is_deterministic_and_order_independent(
+        set in members(),
+        flows in flow_hashes(),
+        rot in 0usize..10,
+    ) {
+        let mut reordered = set.clone();
+        reordered.reverse();
+        let steps = rot % reordered.len();
+        reordered.rotate_left(steps);
+        for &h in &flows {
+            let a = pick(h, &set);
+            prop_assert!(a.is_some());
+            prop_assert_eq!(a, pick(h, &set), "repeat pick diverged");
+            prop_assert_eq!(a, pick(h, &reordered), "member order changed the pick");
+        }
+    }
+
+    /// Removing one member remaps only the flows that hashed to it;
+    /// every other flow keeps its shard.
+    #[test]
+    fn removal_remaps_only_the_dead_members_flows(
+        set in members(),
+        flows in flow_hashes(),
+        victim in 0usize..10,
+    ) {
+        let removed = set[victim % set.len()];
+        let shrunk: Vec<LinkId> = set.iter().copied().filter(|&m| m != removed).collect();
+        prop_assert!(!shrunk.is_empty());
+        for &h in &flows {
+            let before = pick(h, &set);
+            let after = pick(h, &shrunk);
+            if before != Some(removed) {
+                prop_assert_eq!(
+                    before, after,
+                    "flow {} moved although its member {:?} survived", h, before
+                );
+            } else {
+                prop_assert!(after.is_some(), "orphaned flow got no new shard");
+            }
+        }
+    }
+
+    /// Adding one member either leaves a flow where it was or moves it
+    /// onto the newcomer — never onto a third member, so surviving flows
+    /// are never disturbed by tier growth.
+    #[test]
+    fn growth_moves_flows_only_to_the_newcomer(
+        set in members(),
+        flows in flow_hashes(),
+        new_id in 10_000u32..20_000,
+    ) {
+        let newcomer = LinkId(new_id);
+        let mut grown = set.clone();
+        grown.push(newcomer);
+        for &h in &flows {
+            let before = pick(h, &set);
+            let after = pick(h, &grown);
+            prop_assert!(
+                after == before || after == Some(newcomer),
+                "flow {} moved between surviving members: {:?} -> {:?}", h, before, after
+            );
+        }
+    }
+
+    /// Shrink then re-grow with the same member restores the original
+    /// assignment exactly (the pick depends only on the member set).
+    #[test]
+    fn reinsertion_restores_the_original_assignment(
+        set in members(),
+        flows in flow_hashes(),
+        victim in 0usize..10,
+    ) {
+        let removed = set[victim % set.len()];
+        let mut round_trip: Vec<LinkId> =
+            set.iter().copied().filter(|&m| m != removed).collect();
+        round_trip.push(removed);
+        for &h in &flows {
+            prop_assert_eq!(pick(h, &set), pick(h, &round_trip));
+        }
+    }
+}

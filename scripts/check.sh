@@ -22,13 +22,16 @@ echo "==> cargo test"
 cargo test -q --workspace
 
 # The root-package integration suites (determinism, DSR invariants,
-# health ejection under fault injection) and the lbcore property tests
-# are part of `--workspace` above; run them by name too so a filtered or
-# partial test invocation can't silently skip the tier-1 suites.
+# health ejection under fault injection, multi-LB conformance and
+# invariants) and the lbcore/netsim property tests are part of
+# `--workspace` above; run them by name too so a filtered or partial
+# test invocation can't silently skip the tier-1 suites.
 echo "==> tier-1 integration suites (release)"
 cargo test -q --release --test determinism --test dsr_invariants \
-    --test health_ejection --test paper_claims
+    --test health_ejection --test paper_claims \
+    --test multilb_conformance --test multilb_invariants
 cargo test -q -p lbcore --test proptests
+cargo test -q -p netsim --test ecmp_proptests
 
 # Perf snapshot: quick variants of the pinned perfbench scenarios.
 # Non-gating — numbers are host-dependent; the artifact is for trend

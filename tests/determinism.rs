@@ -76,6 +76,30 @@ fn chaos_trace_hash(seed: u64) -> (u64, usize) {
     fold_trace(&cluster.sim)
 }
 
+/// Runs the 4-LB ECMP-sharded tier with weight gossip enabled for
+/// `sim_ms` and hashes the trace. Covers the rendezvous ECMP router
+/// stage, per-shard feedback, and the driver-stepped gossip rounds
+/// (which must not perturb the packet schedule — gossip is pure
+/// control-plane state).
+fn multilb_trace_hash(seed: u64, sim_ms: u64) -> (u64, usize) {
+    use experiments::multilb::{
+        build_multilb_cluster, run_multilb_cluster, GossipParams, MultiLbConfig,
+    };
+    let cfg = MultiLbConfig {
+        n_lbs: 4,
+        duration: Duration::from_millis(sim_ms),
+        inject_at: Duration::from_millis(sim_ms / 2),
+        extra: Duration::from_millis(1),
+        bin: Duration::from_millis(250),
+        gossip: Some(GossipParams::default()),
+        seed,
+    };
+    let mut cluster = build_multilb_cluster(&cfg);
+    cluster.sim.enable_trace(1 << 21);
+    run_multilb_cluster(&mut cluster, &cfg);
+    fold_trace(&cluster.sim)
+}
+
 /// Runs the Fig. 2 bulk-transfer scenario (one window-limited TCP flow
 /// through the LB) for 300 ms and hashes the trace. Covers the nettcp
 /// retransmit/ACK machinery and the LB forwarding path without the KV
@@ -129,6 +153,25 @@ fn chaos_different_seed_changes_the_trace() {
     assert_ne!(h1, h2, "seed had no effect on the chaos trace");
 }
 
+/// Multi-LB determinism: four shards plus gossip rounds, same seed →
+/// bit-identical packet schedule.
+#[test]
+fn multilb_same_seed_reproduces_the_exact_trace() {
+    let (h1, n1) = multilb_trace_hash(17, 600);
+    let (h2, n2) = multilb_trace_hash(17, 600);
+    assert!(n1 > 1_000, "implausibly few events: {n1}");
+    assert_eq!(n1, n2, "event counts diverged across shards");
+    assert_eq!(h1, h2, "trace hashes diverged for the same seed");
+}
+
+/// Multi-LB with a different seed → a genuinely different run.
+#[test]
+fn multilb_different_seed_changes_the_trace() {
+    let (h1, _) = multilb_trace_hash(17, 600);
+    let (h2, _) = multilb_trace_hash(99, 600);
+    assert_ne!(h1, h2, "seed had no effect on the multilb trace");
+}
+
 // ---------------------------------------------------------------------------
 // Pinned trace hashes.
 //
@@ -167,5 +210,29 @@ fn bulk_trace_hash_is_pinned() {
         bulk_trace_hash(7),
         (0x3043_0b41_5f00_79ae, 24_742),
         "bulk packet schedule changed",
+    );
+}
+
+/// Multi-LB tier (4 shards, gossip on), seed 17, 600 ms: pinned packet
+/// schedule. Pinned at introduction of the sharded tier; gossip rounds
+/// run between event-queue drains, so they are invisible here by
+/// construction.
+#[test]
+fn multilb_trace_hash_is_pinned() {
+    assert_eq!(
+        multilb_trace_hash(17, 600),
+        (0x6bee_84af_e8da_5035, 715_548),
+        "multilb packet schedule changed",
+    );
+}
+
+/// Multi-LB tier, seed 99, 600 ms: second pinned seed so a hash change
+/// can't hide behind a single lucky collision.
+#[test]
+fn multilb_trace_hash_is_pinned_seed_99() {
+    assert_eq!(
+        multilb_trace_hash(99, 600),
+        (0x53d7_dd57_5705_65c8, 635_553),
+        "multilb packet schedule changed (seed 99)",
     );
 }

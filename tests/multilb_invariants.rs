@@ -1,0 +1,123 @@
+//! Multi-LB tier invariants: shard isolation and gossip safety.
+//!
+//! * With gossip disabled, each LB's feedback state is built *only* from
+//!   flows the router's rendezvous ECMP assigned to it — no cross-shard
+//!   feedback leakage, checked sample by sample against the pure shard
+//!   function.
+//! * With gossip enabled, the merged weights stay normalized and
+//!   floor-respecting on every LB, merges actually happen, and sharing
+//!   pulls the shards' views of the degraded backend closer together
+//!   than isolation does.
+//!
+//! (The "every ejection subset" half of the gossip invariant is the
+//! `gossip_merge_normalized_for_every_ejection_subset` property in
+//! `crates/lbcore/tests/proptests.rs`.)
+
+use std::collections::BTreeSet;
+
+use experiments::multilb::{
+    build_multilb_cluster, run_multilb_cluster, GossipParams, MultiLbConfig,
+};
+use netsim::Duration;
+
+fn invariant_cfg(gossip: Option<GossipParams>) -> MultiLbConfig {
+    MultiLbConfig {
+        n_lbs: 4,
+        duration: Duration::from_secs(3),
+        inject_at: Duration::from_secs(1),
+        extra: Duration::from_millis(1),
+        bin: Duration::from_millis(500),
+        gossip,
+        seed: 42,
+    }
+}
+
+#[test]
+fn no_cross_shard_feedback_leakage_without_gossip() {
+    let cfg = invariant_cfg(None);
+    let mut cluster = build_multilb_cluster(&cfg);
+    run_multilb_cluster(&mut cluster, &cfg);
+
+    let arms = cluster.lb_arms.clone();
+    assert_eq!(arms.len(), 4);
+    let mut per_lb_flows: Vec<BTreeSet<u64>> = Vec::new();
+    for i in 0..cfg.n_lbs {
+        let node = cluster.lb_node_i(i);
+        // Partial visibility is real: every shard carried traffic and
+        // produced in-band samples from it.
+        assert!(node.stats.forwarded > 0, "LB {i} forwarded nothing");
+        assert!(node.stats.samples > 0, "LB {i} produced no samples");
+        assert_eq!(node.stats.gossip_merges, 0, "gossip ran while disabled");
+        // Every sample this LB learned from belongs to a flow the ECMP
+        // stage assigned to this LB — its weights never reacted to
+        // another shard's flows.
+        let mut flows = BTreeSet::new();
+        for s in node.samples() {
+            let hash = s.flow.stable_hash();
+            let owner = netsim::ecmp::pick(hash, &arms).expect("non-empty arm set");
+            assert_eq!(
+                owner, arms[i],
+                "LB {i} learned from flow {:?} owned by another shard",
+                s.flow
+            );
+            flows.insert(hash);
+        }
+        per_lb_flows.push(flows);
+    }
+    // Corollary: the shards' sample flow sets are pairwise disjoint.
+    for i in 0..per_lb_flows.len() {
+        for j in i + 1..per_lb_flows.len() {
+            assert!(
+                per_lb_flows[i].is_disjoint(&per_lb_flows[j]),
+                "LBs {i} and {j} both sampled the same flow"
+            );
+        }
+    }
+}
+
+#[test]
+fn gossip_merges_stay_normalized_and_pull_shards_together() {
+    let run = |gossip: Option<GossipParams>| {
+        let cfg = invariant_cfg(gossip);
+        let mut cluster = build_multilb_cluster(&cfg);
+        run_multilb_cluster(&mut cluster, &cfg);
+        let merges: u64 = (0..cfg.n_lbs)
+            .map(|i| cluster.lb_node_i(i).stats.gossip_merges)
+            .sum();
+        let degraded: Vec<f64> = (0..cfg.n_lbs)
+            .map(|i| cluster.lb_node_i(i).weights().get(0))
+            .collect();
+        for i in 0..cfg.n_lbs {
+            let node = cluster.lb_node_i(i);
+            let w = node.weights();
+            let sum: f64 = w.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "LB {i} weights sum to {sum}");
+            for b in 0..w.len() {
+                assert!(
+                    w.get(b) >= w.floor() - 1e-9,
+                    "LB {i} backend {b} below floor: {}",
+                    w.get(b)
+                );
+            }
+        }
+        (merges, degraded)
+    };
+
+    let (no_merges, isolated) = run(None);
+    let (merges, shared) = run(Some(GossipParams::default()));
+    assert_eq!(no_merges, 0, "isolated run gossiped");
+    assert!(merges > 0, "gossip enabled but no merge ever moved weights");
+
+    // Gossip narrows the tier's disagreement about the degraded backend.
+    let spread = |v: &[f64]| {
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        max - min
+    };
+    assert!(
+        spread(&shared) <= spread(&isolated) + 1e-9,
+        "gossip widened the spread: isolated {:?} vs shared {:?}",
+        isolated,
+        shared
+    );
+}

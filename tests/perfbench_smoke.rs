@@ -54,30 +54,59 @@ fn different_seed_changes_the_workload() {
 }
 
 #[test]
+fn multilb_scenario_produces_sane_counters() {
+    let r = run_scenario("multilb", true, 42).expect("multilb scenario must run");
+    assert_eq!(r.name, "multilb");
+    assert!(r.sim_ms > 0, "no simulated time covered");
+    assert!(r.events > 0, "no events dispatched");
+    assert!(r.packets > 0, "no packets delivered");
+    assert!(r.timers > 0, "no timers fired");
+    assert!(r.wall_ns > 0, "wall clock did not advance");
+}
+
+#[test]
+fn multilb_same_seed_gives_identical_simulated_counters() {
+    // The multilb driver interleaves gossip rounds with `run_until`
+    // steps; the simulated counters must still be a pure function of
+    // the seed.
+    let a = run_scenario("multilb", true, 7).expect("first run");
+    let b = run_scenario("multilb", true, 7).expect("second run");
+    assert_eq!(a.sim_ms, b.sim_ms);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.packets, b.packets);
+    assert_eq!(a.timers, b.timers);
+}
+
+#[test]
 fn report_json_round_trips() {
-    let r = run_scenario(SMOKE_SCENARIO, true, 42).expect("scenario must run");
-    let report = BenchReport::single(true, r);
+    // A two-scenario report (including multilb) so the serializer's
+    // between-entry separators are exercised too.
+    let churn = run_scenario(SMOKE_SCENARIO, true, 42).expect("scenario must run");
+    let multilb = run_scenario("multilb", true, 42).expect("multilb must run");
+    let mut report = BenchReport::single(true, churn);
+    report.scenarios.push(multilb);
     let text = report.to_json();
     let parsed = BenchReport::from_json(&text).expect("own output must parse");
     assert_eq!(parsed.schema_version, SCHEMA_VERSION);
     assert_eq!(parsed.bench_alloc, report.bench_alloc);
     assert_eq!(parsed.quick, report.quick);
-    assert_eq!(parsed.scenarios.len(), 1);
-    let (a, b) = (&report.scenarios[0], &parsed.scenarios[0]);
-    assert_eq!(a.name, b.name);
-    assert_eq!(a.seed, b.seed);
-    assert_eq!(a.sim_ms, b.sim_ms);
-    assert_eq!(a.events, b.events);
-    assert_eq!(a.packets, b.packets);
-    assert_eq!(a.timers, b.timers);
-    assert_eq!(a.wall_ns, b.wall_ns);
-    assert_eq!(a.peak_rss_kb, b.peak_rss_kb);
-    assert_eq!(a.alloc_count, b.alloc_count);
-    assert_eq!(a.alloc_bytes, b.alloc_bytes);
-    // Floats are serialised with one decimal; the round-trip must stay
-    // within that quantisation.
-    assert!((a.events_per_sec - b.events_per_sec).abs() <= 0.05 + 1e-9);
-    assert!((a.sim_packets_per_sec - b.sim_packets_per_sec).abs() <= 0.05 + 1e-9);
+    assert_eq!(parsed.scenarios.len(), 2);
+    for (a, b) in report.scenarios.iter().zip(&parsed.scenarios) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.seed, b.seed);
+        assert_eq!(a.sim_ms, b.sim_ms);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.packets, b.packets);
+        assert_eq!(a.timers, b.timers);
+        assert_eq!(a.wall_ns, b.wall_ns);
+        assert_eq!(a.peak_rss_kb, b.peak_rss_kb);
+        assert_eq!(a.alloc_count, b.alloc_count);
+        assert_eq!(a.alloc_bytes, b.alloc_bytes);
+        // Floats are serialised with one decimal; the round-trip must
+        // stay within that quantisation.
+        assert!((a.events_per_sec - b.events_per_sec).abs() <= 0.05 + 1e-9);
+        assert!((a.sim_packets_per_sec - b.sim_packets_per_sec).abs() <= 0.05 + 1e-9);
+    }
 }
 
 #[test]

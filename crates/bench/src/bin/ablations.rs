@@ -3,6 +3,10 @@
 //! Usage: `cargo run -p bench --release --bin ablations [which]`
 //! where `which` ∈ {epoch, k, alpha, timing, controllers, herd, chaos,
 //! multilb, all} (default: all).
+//!
+//! Output goes to stdout and is also written to
+//! `target/bench/ablations_<which>.txt` so CI can archive the tables
+//! without shell redirection littering the repo root.
 
 use experiments::ablations;
 use experiments::chaos::{chaos_summary_table, chaos_table, run_chaos, ChaosConfig};
@@ -16,32 +20,35 @@ fn main() {
     let fig2 = Fig2Config::default();
     let fig3 = Fig3Config::default();
 
-    let run_epoch = || ablations::epoch_sweep(&fig2, &[8, 16, 32, 64, 128, 256, 512]).print();
-    let run_k = || ablations::k_sweep(&fig2, &[2, 3, 4, 5, 6, 7, 8, 9]).print();
-    let run_alpha = || ablations::alpha_sweep(&fig3, &[0.02, 0.05, 0.10, 0.20, 0.50]).print();
-    let run_timing = || ablations::timing_violations(&fig2).print();
-    let run_ctl = || ablations::controller_comparison(&fig3).print();
-    let run_herd = || ablations::herd_model(&[1, 2, 4, 8]).print();
-    let run_cliff = || ablations::cliff_rule_comparison(&fig3).print();
-    let run_margin = || ablations::margin_sweep(&fig3, &[0.0, 0.05, 0.10, 0.25, 0.50, 1.0]).print();
-    let run_far = || ablations::far_clients(&fig3).print();
-    let run_congestion = || ablations::congestion(&fig3).print();
-    let run_pcc = || ablations::pcc(&fig3).print();
-    let run_failover = || ablations::failover(&fig3).print();
-    let run_oob = || ablations::oob_comparison(&fig3).print();
+    let run_epoch = || ablations::epoch_sweep(&fig2, &[8, 16, 32, 64, 128, 256, 512]).to_aligned();
+    let run_k = || ablations::k_sweep(&fig2, &[2, 3, 4, 5, 6, 7, 8, 9]).to_aligned();
+    let run_alpha = || ablations::alpha_sweep(&fig3, &[0.02, 0.05, 0.10, 0.20, 0.50]).to_aligned();
+    let run_timing = || ablations::timing_violations(&fig2).to_aligned();
+    let run_ctl = || ablations::controller_comparison(&fig3).to_aligned();
+    let run_herd = || ablations::herd_model(&[1, 2, 4, 8]).to_aligned();
+    let run_cliff = || ablations::cliff_rule_comparison(&fig3).to_aligned();
+    let run_margin =
+        || ablations::margin_sweep(&fig3, &[0.0, 0.05, 0.10, 0.25, 0.50, 1.0]).to_aligned();
+    let run_far = || ablations::far_clients(&fig3).to_aligned();
+    let run_congestion = || ablations::congestion(&fig3).to_aligned();
+    let run_pcc = || ablations::pcc(&fig3).to_aligned();
+    let run_failover = || ablations::failover(&fig3).to_aligned();
     let run_chaos = || {
         let r = run_chaos(&ChaosConfig::default());
-        chaos_table(&r).print();
-        println!();
-        chaos_summary_table(&r).print();
+        format!(
+            "{}\n{}",
+            chaos_table(&r).to_aligned(),
+            chaos_summary_table(&r).to_aligned()
+        )
     };
+    let run_oob = || ablations::oob_comparison(&fig3).to_aligned();
     let run_multilb = || {
         let base = MultiLbConfig::default();
         let runs = multilb_sweep(&base, &[1, 2, 4, 8], GossipParams::default());
-        multilb_table(&base, &runs).print();
+        multilb_table(&base, &runs).to_aligned()
     };
 
-    match which {
+    let output = match which {
         "epoch" => run_epoch(),
         "k" => run_k(),
         "alpha" => run_alpha(),
@@ -57,42 +64,42 @@ fn main() {
         "controllers" => run_ctl(),
         "herd" => run_herd(),
         "cliff" => run_cliff(),
-        "all" => {
-            run_epoch();
-            println!();
-            run_k();
-            println!();
-            run_alpha();
-            println!();
-            run_margin();
-            println!();
-            run_timing();
-            println!();
-            run_ctl();
-            println!();
-            run_cliff();
-            println!();
-            run_far();
-            println!();
-            run_congestion();
-            println!();
-            run_pcc();
-            println!();
-            run_failover();
-            println!();
-            run_oob();
-            println!();
-            run_chaos();
-            println!();
-            run_multilb();
-            println!();
-            run_herd();
-        }
+        "all" => [
+            run_epoch(),
+            run_k(),
+            run_alpha(),
+            run_margin(),
+            run_timing(),
+            run_ctl(),
+            run_cliff(),
+            run_far(),
+            run_congestion(),
+            run_pcc(),
+            run_failover(),
+            run_oob(),
+            run_chaos(),
+            run_multilb(),
+            run_herd(),
+        ]
+        .join("\n"),
         other => {
             eprintln!(
                 "unknown ablation '{other}'; use epoch|k|alpha|margin|timing|controllers|cliff|far|congestion|pcc|failover|oob|chaos|multilb|herd|all"
             );
             std::process::exit(2);
         }
+    };
+
+    print!("{output}");
+    let out_dir = std::path::Path::new("target/bench");
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("ablations: creating {}: {e}", out_dir.display());
+        std::process::exit(1);
     }
+    let path = out_dir.join(format!("ablations_{which}.txt"));
+    if let Err(e) = std::fs::write(&path, &output) {
+        eprintln!("ablations: writing {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", path.display());
 }

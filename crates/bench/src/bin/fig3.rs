@@ -2,10 +2,14 @@
 //! key-value cluster with 1 ms injected at one backend, plain Maglev vs.
 //! the latency-aware LB.
 //!
-//! Usage: `cargo run -p bench --release --bin fig3 [--full] [--seed N] [--csv]`
+//! Usage:
+//! `cargo run -p bench --release --bin fig3 [--full] [--seed N] [--csv] [--journal PATH]`
 //!
 //! `--full` uses the paper's 200 s timeline (injection at t = 100 s);
-//! the default is a 60 s run with injection at t = 20 s.
+//! the default is a 60 s run with injection at t = 20 s. `--journal PATH`
+//! records the latency-aware LB's decision journal and writes it to
+//! `PATH` as NDJSON — feed it to the `lbtrace` binary to explain weight
+//! shifts and reproduce the reaction metric offline.
 
 use experiments::fig3::{fig3_summary_table, fig3_table, run_fig3, Fig3Config};
 
@@ -19,7 +23,24 @@ fn main() {
     if let Some(seed) = bench::arg_value(&args, "--seed") {
         cfg.seed = seed.parse().expect("--seed takes an integer");
     }
+    let journal_path = bench::arg_value(&args, "--journal");
+    if journal_path.is_some() {
+        cfg.journal = telemetry::JournalMode::Full(1 << 22);
+    }
     let r = run_fig3(&cfg);
+    if let Some(path) = &journal_path {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).expect("creating journal output directory");
+            }
+        }
+        std::fs::write(path, &r.aware.journal).expect("writing journal");
+        eprintln!(
+            "wrote {} ({} events)",
+            path,
+            r.aware.journal.lines().count()
+        );
+    }
     if bench::has_flag(&args, "--csv") {
         print!("{}", fig3_table(&r).to_csv());
     } else {

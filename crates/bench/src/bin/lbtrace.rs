@@ -1,0 +1,111 @@
+//! `lbtrace`: query a decision-journal NDJSON capture.
+//!
+//! Capture a journal first, e.g.:
+//!
+//! ```text
+//! cargo run -p bench --release --bin fig3 -- --journal target/bench/fig3.ndjson
+//! ```
+//!
+//! then query it:
+//!
+//! ```text
+//! lbtrace summary   FILE
+//! lbtrace samples   FILE --backend B [--limit N]
+//! lbtrace explain   FILE [--after NS]
+//! lbtrace ejections FILE
+//! lbtrace reaction  FILE --inject NS [--backend B]
+//! ```
+//!
+//! `reaction` reproduces the Fig. 3 reaction metric from the journal
+//! alone; `explain` walks a weight shift back to the epoch-δ decision
+//! and the T_LB samples that drove it.
+
+use bench::lbtrace::Trace;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lbtrace <summary|samples|explain|ejections|reaction> FILE \
+         [--backend B] [--after NS] [--inject NS] [--limit N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let (Some(cmd), Some(path)) = (args.get(1), args.get(2)) else {
+        usage();
+    };
+    let trace = match Trace::load(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("lbtrace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let num = |key: &str| -> Option<u64> {
+        bench::arg_value(&args, key).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("lbtrace: {key} takes an integer");
+                std::process::exit(2);
+            })
+        })
+    };
+
+    match cmd.as_str() {
+        "summary" => print!("{}", trace.summary()),
+        "samples" => {
+            let backend = num("--backend").unwrap_or(0) as usize;
+            let limit = num("--limit").unwrap_or(u64::MAX) as usize;
+            let timeline = trace.sample_timeline(backend);
+            println!(
+                "backend {backend}: {} sample(s){}",
+                timeline.len(),
+                if timeline.len() > limit {
+                    format!(", showing last {limit}")
+                } else {
+                    String::new()
+                }
+            );
+            let skip = timeline.len().saturating_sub(limit);
+            for (at, t_lb) in timeline.into_iter().skip(skip) {
+                println!("  t = {at} ns  T_LB = {t_lb} ns");
+            }
+        }
+        "explain" => {
+            let after = num("--after").unwrap_or(0);
+            match trace.explain_shift(after) {
+                Some(ex) => print!("{}", ex.render()),
+                None => println!("no weight shift with a victim at or after t = {after} ns"),
+            }
+        }
+        "ejections" => {
+            let lines = trace.ejection_storylines();
+            if lines.is_empty() {
+                println!("no health transitions in the capture");
+            }
+            for line in lines {
+                print!("{}", line.render());
+            }
+        }
+        "reaction" => {
+            let Some(inject) = num("--inject") else {
+                eprintln!("lbtrace: reaction needs --inject NS");
+                std::process::exit(2);
+            };
+            let backends: Vec<usize> = match num("--backend") {
+                Some(b) => vec![b as usize],
+                None => (0..trace.n_backends()).collect(),
+            };
+            for b in backends {
+                match trace.reaction_time(b, inject) {
+                    Some(t) => println!(
+                        "backend {b}: weight < 0.5 at t = {t} ns ({:.2} ms after injection)",
+                        t.saturating_sub(inject) as f64 / 1e6
+                    ),
+                    None => println!("backend {b}: never dropped below half traffic"),
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -6,12 +6,16 @@
 //!
 //! ```text
 //! cargo run --release -p bench --bin perfbench -- \
-//!     [--quick] [--scenario NAME] [--seed N] [--out PATH]
+//!     [--quick] [--scenario NAME] [--seed N] [--out PATH] [--journal]
 //! ```
 //!
 //! `--quick` runs the short CI variants; the default (full) variants are
-//! the pinned trajectory points. Build with `--features bench-alloc` to
-//! include allocation counts (counting global allocator).
+//! the pinned trajectory points. `--journal` appends the
+//! `fig3_kv_journal` overhead scenario (fig3_kv with the decision
+//! journal recording) to the report — it is not part of the pinned
+//! trajectory. Build with `--features bench-alloc` to include
+//! allocation counts (counting global allocator). Output defaults to
+//! `target/bench/BENCH_perf.json`.
 
 use bench::harness::{self, BenchReport};
 
@@ -21,9 +25,10 @@ fn main() {
     let seed: u64 = bench::arg_value(&args, "--seed")
         .map(|s| s.parse().expect("--seed takes an integer"))
         .unwrap_or(42);
-    let out = bench::arg_value(&args, "--out").unwrap_or_else(|| "BENCH_perf.json".into());
+    let out =
+        bench::arg_value(&args, "--out").unwrap_or_else(|| "target/bench/BENCH_perf.json".into());
 
-    let report = if let Some(name) = bench::arg_value(&args, "--scenario") {
+    let mut report = if let Some(name) = bench::arg_value(&args, "--scenario") {
         match harness::run_scenario(&name, quick, seed) {
             Ok(r) => BenchReport::single(quick, r),
             Err(e) => {
@@ -34,6 +39,17 @@ fn main() {
     } else {
         harness::run_all(quick, seed)
     };
+    if bench::has_flag(&args, "--journal")
+        && !report.scenarios.iter().any(|s| s.name.contains("journal"))
+    {
+        match harness::run_scenario("fig3_kv_journal", quick, seed) {
+            Ok(r) => report.scenarios.push(r),
+            Err(e) => {
+                eprintln!("perfbench: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
 
     println!(
         "perfbench (schema v{}, {} mode, seed {seed}, alloc counting {})",
@@ -68,6 +84,14 @@ fn main() {
         );
     }
 
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        if !dir.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("perfbench: creating {}: {e}", dir.display());
+                std::process::exit(1);
+            }
+        }
+    }
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("perfbench: writing {out}: {e}");
         std::process::exit(1);

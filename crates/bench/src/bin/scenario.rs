@@ -74,11 +74,11 @@ fn main() {
     let lb = sc.cluster.lb_node();
     t.row(&[
         "T_LB samples at the LB".into(),
-        lb.stats.samples.to_string(),
+        lb.stats().samples.to_string(),
     ]);
     t.row(&[
         "Maglev table rebuilds".into(),
-        lb.stats.table_rebuilds.to_string(),
+        lb.stats().table_rebuilds.to_string(),
     ]);
     for (b, w) in lb.weights().as_slice().iter().enumerate() {
         t.row(&[format!("final weight of backend {b}"), format!("{w:.3}")]);

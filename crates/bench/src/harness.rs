@@ -184,7 +184,11 @@ pub fn run_scenario(name: &str, quick: bool, seed: u64) -> Result<ScenarioResult
     let (sim_ms, stats) = match name {
         "netsim_churn" => run_churn(if quick { 50 } else { 1000 }, seed),
         "nettcp_bulk" => run_bulk(if quick { 150 } else { 2000 }, seed),
-        "fig3_kv" => run_fig3_kv(if quick { 400 } else { 3000 }, seed),
+        "fig3_kv" => run_fig3_kv(if quick { 400 } else { 3000 }, seed, false),
+        // Same workload with the decision journal recording — not in
+        // [`SCENARIOS`] (the pinned trajectory), but runnable by name so
+        // CI can report observability overhead side by side.
+        "fig3_kv_journal" => run_fig3_kv(if quick { 400 } else { 3000 }, seed, true),
         "chaos" => run_chaos(quick, seed),
         "multilb" => run_multilb_bench(if quick { 400 } else { 3000 }, seed),
         other => return Err(format!("unknown scenario '{other}'; known: {SCENARIOS:?}")),
@@ -313,9 +317,14 @@ fn run_bulk(sim_ms: u64, seed: u64) -> (u64, SimStats) {
 /// The Fig. 3 two-backend KV workload under the latency-aware LB, with
 /// the 1 ms delay injected at the midpoint — the end-to-end macro path
 /// (clients, TCP, LB measurement + control, backends).
-fn run_fig3_kv(sim_ms: u64, seed: u64) -> (u64, SimStats) {
-    let lb_factory: Box<dyn FnOnce(Vec<Ipv4Addr>) -> LbConfig> =
-        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())));
+fn run_fig3_kv(sim_ms: u64, seed: u64, journal: bool) -> (u64, SimStats) {
+    let lb_factory: Box<dyn FnOnce(Vec<Ipv4Addr>) -> LbConfig> = Box::new(move |backends| {
+        let mut c = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+        if journal {
+            c.journal = telemetry::JournalMode::Full(1 << 22);
+        }
+        c
+    });
     let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
     cfg.seed = seed;
     let mut cluster = KvCluster::build(cfg);

@@ -9,6 +9,9 @@
 //!   `timing`, `controllers`, `herd`, or `all`).
 //! * `perfbench` — runs the pinned perf macro-scenarios and writes the
 //!   schema-versioned `BENCH_perf.json` (see [`harness`]).
+//! * `lbtrace` — analyzes a decision-journal NDJSON capture (see
+//!   [`lbtrace`]): sample timelines, weight-shift explanations,
+//!   ejection storylines, and the journal-derived reaction metric.
 //!
 //! Criterion benches (run with `cargo bench`):
 //!
@@ -22,6 +25,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod harness;
+pub mod lbtrace;
 
 /// Parses `--seed N` style overrides shared by the binaries.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {

@@ -151,7 +151,7 @@ pub fn alpha_sweep(cfg: &Fig3Config, alphas: &[f64]) -> Table {
             format!("{alpha:.2}"),
             format!("{:.1}", p95 as f64 / 1e3),
             reaction,
-            lb.stats.table_rebuilds.to_string(),
+            lb.stats().table_rebuilds.to_string(),
         ]);
     }
     t
@@ -196,7 +196,7 @@ pub fn margin_sweep(cfg: &Fig3Config, margins: &[f64]) -> Table {
             format!("{:.1}", healthy as f64 / 1e3),
             format!("{:.1}", after as f64 / 1e3),
             reaction_after(lb, inject_at.as_nanos()),
-            lb.stats.table_rebuilds.to_string(),
+            lb.stats().table_rebuilds.to_string(),
         ]);
     }
     t
@@ -304,7 +304,7 @@ pub fn controller_comparison(cfg: &Fig3Config) -> Table {
             name.to_string(),
             format!("{:.1}", p95 as f64 / 1e3),
             reaction,
-            lb.stats.table_rebuilds.to_string(),
+            lb.stats().table_rebuilds.to_string(),
         ]);
     }
 
@@ -330,7 +330,7 @@ pub fn controller_comparison(cfg: &Fig3Config) -> Table {
             "power-of-two".to_string(),
             format!("{:.1}", p95 as f64 / 1e3),
             "per-conn".to_string(),
-            lb.stats.table_rebuilds.to_string(),
+            lb.stats().table_rebuilds.to_string(),
         ]);
     }
     t
@@ -473,7 +473,7 @@ pub fn cliff_rule_comparison(cfg: &Fig3Config) -> Table {
             name.to_string(),
             format!("{:.1}", p95 as f64 / 1e3),
             reaction,
-            lb.stats.table_rebuilds.to_string(),
+            lb.stats().table_rebuilds.to_string(),
             format!("{:.2}", 100.0 * giant as f64 / total as f64),
         ]);
     }
@@ -532,7 +532,7 @@ pub fn far_clients(cfg: &Fig3Config) -> Table {
 
         let lb = cluster.lb_node();
         let w0 = format!("{:.2}", lb.weights().get(0));
-        let rebuilds = lb.stats.table_rebuilds.to_string();
+        let rebuilds = lb.stats().table_rebuilds.to_string();
         // "Steady state": the second half of the post-injection window,
         // past the connection-churn transition (routing changes only
         // apply to *new* connections, and far connections churn ∝ 1/RTT
@@ -726,7 +726,7 @@ pub fn pcc(cfg: &Fig3Config) -> Table {
             stats.conns_broken.to_string(),
             format!("{broken_pct:.1}"),
             stats.requests_lost.to_string(),
-            lb.stats.table_rebuilds.to_string(),
+            lb.stats().table_rebuilds.to_string(),
         ]);
     }
     t
@@ -851,9 +851,9 @@ pub fn oob_comparison(cfg: &Fig3Config) -> Table {
             let p95 = p95_get_after(recorder, inject_at.as_nanos());
             let lb = cluster.lb_node();
             let events = if oob {
-                lb.stats.oob_reports
+                lb.stats().oob_reports
             } else {
-                lb.stats.samples
+                lb.stats().samples
             };
             t.row(&[
                 name.to_string(),

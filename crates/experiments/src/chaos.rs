@@ -170,11 +170,11 @@ fn run_variant(cfg: &ChaosConfig, latency_aware: bool) -> ChaosRun {
         dead_weight,
         ejected_at,
         readmitted_at,
-        ejections: lb.stats.ejections,
-        readmissions: lb.stats.readmissions,
-        flows_repinned: lb.stats.flows_repinned,
-        no_backend_drops: lb.stats.no_backend_drops,
-        lb_samples: lb.stats.samples,
+        ejections: lb.stats().ejections,
+        readmissions: lb.stats().readmissions,
+        flows_repinned: lb.stats().flows_repinned,
+        no_backend_drops: lb.stats().no_backend_drops,
+        lb_samples: lb.stats().samples,
     }
 }
 

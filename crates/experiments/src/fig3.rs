@@ -5,7 +5,7 @@
 use lb_dataplane::LbConfig;
 use lbcore::AlphaShift;
 use netsim::{Duration, Time};
-use telemetry::Table;
+use telemetry::{JournalMode, Table};
 
 use crate::topology::{KvCluster, KvClusterConfig, VIP};
 
@@ -25,6 +25,9 @@ pub struct Fig3Config {
     pub bin: Duration,
     /// Root seed.
     pub seed: u64,
+    /// Decision-journal mode for the latency-aware LB (`Off` by default;
+    /// journaling never perturbs the packet schedule, only records it).
+    pub journal: JournalMode,
 }
 
 impl Default for Fig3Config {
@@ -35,6 +38,7 @@ impl Default for Fig3Config {
             extra: Duration::from_millis(1),
             bin: Duration::from_secs(1),
             seed: 42,
+            journal: JournalMode::Off,
         }
     }
 }
@@ -76,6 +80,9 @@ pub struct Fig3Run {
     pub first_reaction: Option<u64>,
     /// `T_LB` samples the LB produced.
     pub lb_samples: u64,
+    /// The LB's decision journal as NDJSON (empty unless
+    /// [`Fig3Config::journal`] is enabled).
+    pub journal: String,
 }
 
 /// The full Fig. 3 result: baseline vs. latency-aware.
@@ -89,8 +96,13 @@ pub struct Fig3Result {
 }
 
 fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
+    let journal = cfg.journal;
     let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> = if latency_aware {
-        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())))
+        Box::new(move |backends| {
+            let mut c = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+            c.journal = journal;
+            c
+        })
     } else {
         Box::new(|backends| LbConfig::baseline(VIP, backends))
     };
@@ -145,7 +157,8 @@ fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
         completed: recorder.responses,
         degraded_weight,
         first_reaction,
-        lb_samples: lb.stats.samples,
+        lb_samples: lb.stats().samples,
+        journal: lb.journal().to_ndjson(),
     }
 }
 

@@ -284,10 +284,10 @@ pub fn run_multilb(cfg: &MultiLbConfig) -> MultiLbRun {
         .iter()
         .map(|s| series_reaction(s, inject_ns))
         .collect();
-    let per_lb_samples: Vec<u64> = nodes.iter().map(|n| n.stats.samples).collect();
-    let per_lb_forwarded: Vec<u64> = nodes.iter().map(|n| n.stats.forwarded).collect();
+    let per_lb_samples: Vec<u64> = nodes.iter().map(|n| n.stats().samples).collect();
+    let per_lb_forwarded: Vec<u64> = nodes.iter().map(|n| n.stats().forwarded).collect();
     let final_degraded_weight: Vec<f64> = nodes.iter().map(|n| n.weights().get(0)).collect();
-    let gossip_merges: u64 = nodes.iter().map(|n| n.stats.gossip_merges).sum();
+    let gossip_merges: u64 = nodes.iter().map(|n| n.stats().gossip_merges).sum();
     let lb_samples: u64 = per_lb_samples.iter().sum();
 
     MultiLbRun {

@@ -4,12 +4,57 @@ use std::net::Ipv4Addr;
 
 use netpkt::{FlowKey, MacAddr, Packet, TcpFlags};
 use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
-use telemetry::ScalarSeries;
+use telemetry::{Journal, JournalEvent, JournalMode, MetricsRegistry, ScalarSeries, WeightCause};
 
 use lbcore::{
     BackendEstimator, Controller, EnsembleConfig, EnsembleTimeout, FlowTable, HealthConfig,
     HealthState, HealthTracker, MaglevTable, Weights,
 };
+
+/// Metric ids into [`LbNode`]'s registry. Ids are indices in registration
+/// order; `COUNTER_NAMES` *is* that order, so the constants below must
+/// stay aligned with it.
+mod m {
+    use telemetry::{CounterId, GaugeId, HistId};
+
+    pub const COUNTER_NAMES: &[&str] = &[
+        "rx",
+        "forwarded",
+        "dropped",
+        "new_flows",
+        "fallback_forwards",
+        "flow_closes",
+        "samples",
+        "oob_reports",
+        "table_rebuilds",
+        "no_backend_drops",
+        "ejections",
+        "readmissions",
+        "flows_repinned",
+        "abort_signals",
+        "gossip_merges",
+    ];
+    pub const RX: CounterId = CounterId(0);
+    pub const FORWARDED: CounterId = CounterId(1);
+    pub const DROPPED: CounterId = CounterId(2);
+    pub const NEW_FLOWS: CounterId = CounterId(3);
+    pub const FALLBACK_FORWARDS: CounterId = CounterId(4);
+    pub const FLOW_CLOSES: CounterId = CounterId(5);
+    pub const SAMPLES: CounterId = CounterId(6);
+    pub const OOB_REPORTS: CounterId = CounterId(7);
+    pub const TABLE_REBUILDS: CounterId = CounterId(8);
+    pub const NO_BACKEND_DROPS: CounterId = CounterId(9);
+    pub const EJECTIONS: CounterId = CounterId(10);
+    pub const READMISSIONS: CounterId = CounterId(11);
+    pub const FLOWS_REPINNED: CounterId = CounterId(12);
+    pub const ABORT_SIGNALS: CounterId = CounterId(13);
+    pub const GOSSIP_MERGES: CounterId = CounterId(14);
+
+    /// 1.0 while every backend is ejected, else 0.0.
+    pub const NO_BACKEND_GAUGE: GaugeId = GaugeId(0);
+    /// Distribution of in-band `T_LB` samples (nanoseconds).
+    pub const T_LB_HIST: HistId = HistId(0);
+}
 
 /// How new connections are assigned to backends.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +142,15 @@ pub struct LbConfig {
     /// needs the in-band measurement path, and ejection acts by zeroing
     /// table weights. `None` disables health tracking entirely.
     pub health: Option<HealthConfig>,
+    /// Decision-journal mode. Defaults to [`JournalMode::Off`]; emission
+    /// sites are gated on it and the journal never sends packets or arms
+    /// timers, so pinned determinism traces are byte-identical either way.
+    pub journal: JournalMode,
+    /// Period for sampling the metrics registry into per-counter
+    /// [`telemetry::BinnedSeries`]. `None` (the default) arms no timer at
+    /// all — enabling this *does* add timer events to the simulation
+    /// schedule, which perturbs pinned traces, hence opt-in.
+    pub metrics_interval: Option<Duration>,
 }
 
 impl LbConfig {
@@ -130,6 +184,8 @@ impl LbConfig {
             sweep_interval: Duration::from_secs(1),
             sample_log_limit: 1 << 20,
             health: Some(HealthConfig::default()),
+            journal: JournalMode::Off,
+            metrics_interval: None,
         }
     }
 
@@ -150,7 +206,10 @@ impl LbConfig {
     }
 }
 
-/// LB counters.
+/// Snapshot of the LB counters. The live counters are named entries in
+/// the node's [`MetricsRegistry`] (see [`LbNode::metrics`]); this struct
+/// is assembled on demand by [`LbNode::stats`] so call sites keep the
+/// familiar field access.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct LbStats {
     /// Packets received.
@@ -208,6 +267,7 @@ pub struct LoggedSample {
 
 const SWEEP_TOKEN: TimerToken = TimerToken(1);
 const HEALTH_TOKEN: TimerToken = TimerToken(2);
+const METRICS_TOKEN: TimerToken = TimerToken(3);
 
 /// The load-balancer node. See the crate docs.
 pub struct LbNode {
@@ -254,8 +314,18 @@ pub struct LbNode {
     /// weight rebuilds, so a health transition allocates nothing.
     class_scratch: Vec<u8>,
     raw_scratch: Vec<f64>,
-    /// Counters.
-    pub stats: LbStats,
+    /// Named counters/gauges/histograms (see [`LbNode::stats`] for the
+    /// counter snapshot and the `m` module for the id layout).
+    metrics: MetricsRegistry,
+    /// The decision journal (off unless [`LbConfig::journal`] enables it).
+    journal: Journal,
+    /// Weights as of the previous [`LbNode::record_weights`], used to
+    /// derive victim/moved-mass for journal `WeightUpdate` events. Only
+    /// maintained while the journal is enabled.
+    weights_snapshot: Vec<f64>,
+    /// Flight-recorder dump captured at the first `no_backend` drop
+    /// (NDJSON of the journal's retained events at that moment).
+    flight_dump: Option<String>,
 }
 
 impl LbNode {
@@ -295,6 +365,17 @@ impl LbNode {
             }
             _ => None,
         };
+        let mut metrics = MetricsRegistry::new();
+        for &name in m::COUNTER_NAMES {
+            let _ = metrics.counter(name);
+        }
+        let _ = metrics.gauge("no_backend");
+        let _ = metrics.histogram("t_lb_ns");
+        if let Some(iv) = cfg.metrics_interval {
+            metrics.enable_sampling(iv.as_nanos());
+        }
+        let journal = Journal::new(cfg.journal);
+        let weights_snapshot = weights.as_slice().to_vec();
         LbNode {
             cfg,
             backend_links,
@@ -314,7 +395,10 @@ impl LbNode {
             no_backend: false,
             class_scratch: Vec::new(),
             raw_scratch: Vec::new(),
-            stats: LbStats::default(),
+            metrics,
+            journal,
+            weights_snapshot,
+            flight_dump: None,
         }
     }
 
@@ -353,9 +437,71 @@ impl LbNode {
         self.health.as_ref()
     }
 
-    fn record_weights(&mut self, now: Time) {
+    /// Snapshot of the LB counters, assembled from the metrics registry.
+    pub fn stats(&self) -> LbStats {
+        LbStats {
+            rx: self.metrics.get(m::RX),
+            forwarded: self.metrics.get(m::FORWARDED),
+            dropped: self.metrics.get(m::DROPPED),
+            new_flows: self.metrics.get(m::NEW_FLOWS),
+            fallback_forwards: self.metrics.get(m::FALLBACK_FORWARDS),
+            flow_closes: self.metrics.get(m::FLOW_CLOSES),
+            samples: self.metrics.get(m::SAMPLES),
+            oob_reports: self.metrics.get(m::OOB_REPORTS),
+            table_rebuilds: self.metrics.get(m::TABLE_REBUILDS),
+            no_backend_drops: self.metrics.get(m::NO_BACKEND_DROPS),
+            ejections: self.metrics.get(m::EJECTIONS),
+            readmissions: self.metrics.get(m::READMISSIONS),
+            flows_repinned: self.metrics.get(m::FLOWS_REPINNED),
+            abort_signals: self.metrics.get(m::ABORT_SIGNALS),
+            gossip_merges: self.metrics.get(m::GOSSIP_MERGES),
+        }
+    }
+
+    /// The metrics registry (named counters/gauges/histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The decision journal.
+    pub fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// The flight-recorder dump captured at the first `no_backend` drop,
+    /// if one happened while the journal was enabled.
+    pub fn flight_dump(&self) -> Option<&str> {
+        self.flight_dump.as_deref()
+    }
+
+    fn record_weights(&mut self, now: Time, cause: WeightCause) {
         for (b, s) in self.weight_series.iter_mut().enumerate() {
             s.push(now.as_nanos(), self.weights.get(b));
+        }
+        if self.journal.enabled() {
+            let after = self.weights.as_slice().to_vec();
+            let mut victim = None;
+            let mut victim_dec = 0.0;
+            let mut moved = 0.0;
+            for (b, (&new_w, &old_w)) in after.iter().zip(self.weights_snapshot.iter()).enumerate()
+            {
+                let dec = old_w - new_w;
+                if dec > 0.0 {
+                    moved += dec;
+                    if dec > victim_dec {
+                        victim_dec = dec;
+                        victim = Some(b);
+                    }
+                }
+            }
+            self.weights_snapshot.clone_from(&after);
+            self.journal.push(JournalEvent::WeightUpdate {
+                at: now.as_nanos(),
+                cause,
+                victim,
+                moved,
+                weights: after,
+            });
         }
     }
 
@@ -379,7 +525,7 @@ impl LbNode {
         if let Some((backend_id, latency_ns)) = netpkt::oob::parse_report(payload) {
             let b = backend_id as usize;
             if b < self.cfg.backends.len() {
-                self.stats.oob_reports += 1;
+                self.metrics.inc(m::OOB_REPORTS);
                 self.estimator.record(b, latency_ns, now.as_nanos());
                 if self.cfg.mode == MeasureMode::Control {
                     self.run_controller(now);
@@ -391,25 +537,30 @@ impl LbNode {
 
     /// The per-packet fast path.
     fn process(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
-        self.stats.rx += 1;
+        self.metrics.inc(m::RX);
         if self.try_control(ctx.now(), &pkt) {
             ctx.pool().recycle(pkt);
             return;
         }
         let Ok((key, flags)) = FlowKey::parse_with_flags(&pkt.data) else {
-            self.stats.dropped += 1;
+            self.metrics.inc(m::DROPPED);
             ctx.pool().recycle(pkt);
             return;
         };
         if key.dst_ip != self.cfg.vip {
-            self.stats.dropped += 1;
+            self.metrics.inc(m::DROPPED);
             ctx.pool().recycle(pkt);
             return;
         }
         if self.no_backend {
             // Every backend ejected: any forwarding choice is a dead pin.
-            self.stats.no_backend_drops += 1;
-            self.stats.dropped += 1;
+            self.metrics.inc(m::NO_BACKEND_DROPS);
+            self.metrics.inc(m::DROPPED);
+            if self.flight_dump.is_none() && self.journal.enabled() {
+                // Flight recorder: dump the causal history leading into
+                // the first dropped packet.
+                self.flight_dump = Some(self.journal.to_ndjson());
+            }
             ctx.pool().recycle(pkt);
             return;
         }
@@ -435,7 +586,7 @@ impl LbNode {
                 // RTO-abort signal against that backend (handshake ACKs
                 // bump `packets`, so a served pin never matches).
                 if stale.packets == 0 {
-                    self.stats.abort_signals += 1;
+                    self.metrics.inc(m::ABORT_SIGNALS);
                     if let Some(h) = self.health.as_mut() {
                         h.record_abort(stale.backend);
                     }
@@ -454,8 +605,43 @@ impl LbNode {
                 self.table.lookup(key.stable_hash())
             };
             if measuring {
-                if let Some(t_lb) = self.ensembles[backend].on_packet(&mut entry.timing, now_ns) {
-                    self.stats.samples += 1;
+                let journal_on = self.journal.enabled();
+                let pre_decisions = if journal_on {
+                    self.ensembles[backend].decisions().len()
+                } else {
+                    0
+                };
+                let sample = self.ensembles[backend].on_packet(&mut entry.timing, now_ns);
+                if journal_on {
+                    // `on_packet` closes at most one epoch per call; any
+                    // new decision happened before this packet's sample.
+                    for d in self.ensembles[backend]
+                        .decisions()
+                        .iter()
+                        .skip(pre_decisions)
+                    {
+                        self.journal.push(JournalEvent::EpochDecision {
+                            at: d.at,
+                            backend,
+                            counts: d.counts.clone(),
+                            chosen: d.chosen,
+                            delta: d.delta,
+                        });
+                    }
+                }
+                if let Some(t_lb) = sample {
+                    self.metrics.inc(m::SAMPLES);
+                    self.metrics.record(m::T_LB_HIST, t_lb);
+                    if journal_on {
+                        self.journal.push(JournalEvent::Sample {
+                            at: now_ns,
+                            backend,
+                            src_ip: u32::from(key.src_ip),
+                            src_port: key.src_port,
+                            delta: self.ensembles[backend].current_delta(),
+                            t_lb,
+                        });
+                    }
                     if let Some(h) = &self.health {
                         if t_lb <= h.config().sample_ceiling {
                             self.live_samples[backend] += 1;
@@ -482,21 +668,21 @@ impl LbNode {
             let backend = self.pick_backend(key.stable_hash(), now_ns);
             let timing = self.ensembles[backend].new_flow(now_ns);
             self.flows.insert(key, backend, timing, now_ns);
-            self.stats.new_flows += 1;
+            self.metrics.inc(m::NEW_FLOWS);
             backend
         } else {
             // No entry and not a connection start: forward statelessly.
-            self.stats.fallback_forwards += 1;
+            self.metrics.inc(m::FALLBACK_FORWARDS);
             self.table.lookup(key.stable_hash())
         };
 
         if fin_or_rst {
-            self.stats.flow_closes += 1;
+            self.metrics.inc(m::FLOW_CLOSES);
         }
 
         // DSR forwarding: L2 rewrite only; the VIP stays in the IP header.
         let fwd = pkt.with_macs_pooled(self.mac, self.backend_mac(backend), ctx.pool());
-        self.stats.forwarded += 1;
+        self.metrics.inc(m::FORWARDED);
         self.fwd_per_backend[backend] += 1;
         ctx.send(self.backend_links[backend], fwd);
         // The consumed rx buffer feeds the next forward's pooled copy.
@@ -551,8 +737,8 @@ impl LbNode {
                 let _ = self.weights.apply_ejections(&self.ejected);
             }
             self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
-            self.stats.table_rebuilds += 1;
-            self.record_weights(now);
+            self.metrics.inc(m::TABLE_REBUILDS);
+            self.record_weights(now, WeightCause::Controller);
         }
     }
 
@@ -578,13 +764,26 @@ impl LbNode {
         {
             return false;
         }
+        let before = if self.journal.enabled() {
+            self.weights.as_slice().to_vec()
+        } else {
+            Vec::new()
+        };
         if !lbcore::gossip::merge_weights(&mut self.weights, peers, mix, &self.ejected) {
             return false;
         }
         self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
-        self.stats.table_rebuilds += 1;
-        self.stats.gossip_merges += 1;
-        self.record_weights(now);
+        self.metrics.inc(m::TABLE_REBUILDS);
+        self.metrics.inc(m::GOSSIP_MERGES);
+        if self.journal.enabled() {
+            self.journal.push(JournalEvent::GossipMerge {
+                at: now.as_nanos(),
+                mix,
+                before,
+                after: self.weights.as_slice().to_vec(),
+            });
+        }
+        self.record_weights(now, WeightCause::Gossip);
         true
     }
 
@@ -597,8 +796,20 @@ impl LbNode {
         };
         let n = self.cfg.backends.len();
         let changed = tracker.on_epoch(now.as_nanos(), &self.live_samples, &self.fwd_per_backend);
-        self.stats.ejections = tracker.ejections();
-        self.stats.readmissions = tracker.readmissions();
+        self.metrics.set_counter(m::EJECTIONS, tracker.ejections());
+        self.metrics
+            .set_counter(m::READMISSIONS, tracker.readmissions());
+        if self.journal.enabled() {
+            for &(b, from, to, trigger) in tracker.last_transitions() {
+                self.journal.push(JournalEvent::HealthTransition {
+                    at: now.as_nanos(),
+                    backend: b,
+                    from: from.as_str(),
+                    to: to.as_str(),
+                    trigger: trigger.as_str(),
+                });
+            }
+        }
         if !changed {
             return;
         }
@@ -637,18 +848,25 @@ impl LbNode {
             // Every backend ejected: weights untouched, table kept, the
             // fast path drops with a counter until probation reopens one.
             self.no_backend = true;
-            self.record_weights(now);
+            self.metrics.set_gauge(m::NO_BACKEND_GAUGE, 1.0);
+            if self.journal.enabled() {
+                self.journal
+                    .push(JournalEvent::NoBackend { at: now.as_nanos() });
+            }
+            self.record_weights(now, WeightCause::Health);
             return;
         }
         self.no_backend = false;
+        self.metrics.set_gauge(m::NO_BACKEND_GAUGE, 0.0);
         self.table = MaglevTable::build(self.weights.as_slice(), self.cfg.table_size);
-        self.stats.table_rebuilds += 1;
+        self.metrics.inc(m::TABLE_REBUILDS);
         // Migrate pinned flows off ejected backends. The new backend will
         // RST mid-stream connections, forcing a fast client reconnect —
         // strictly better than silently blackholing into the dead pin.
         let now_ns = now.as_nanos();
         let table = &self.table;
         let ensembles = &mut self.ensembles;
+        let journal = &mut self.journal;
         let mut moved = 0usize;
         for (b, &ejected) in self.ejected.iter().enumerate() {
             if !ejected {
@@ -656,21 +874,33 @@ impl LbNode {
             }
             moved += self.flows.repin_backend(b, |key, entry| {
                 let nb = table.lookup(key.stable_hash());
+                if journal.enabled() {
+                    journal.push(JournalEvent::FlowRepin {
+                        at: now_ns,
+                        src_ip: u32::from(key.src_ip),
+                        src_port: key.src_port,
+                        from: b,
+                        to: nb,
+                    });
+                }
                 entry.backend = nb;
                 entry.timing = ensembles[nb].new_flow(now_ns);
             });
         }
-        self.stats.flows_repinned += moved as u64;
-        self.record_weights(now);
+        self.metrics.add(m::FLOWS_REPINNED, moved as u64);
+        self.record_weights(now, WeightCause::Health);
     }
 }
 
 impl Node for LbNode {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        self.record_weights(ctx.now());
+        self.record_weights(ctx.now(), WeightCause::Init);
         ctx.arm_timer(self.cfg.sweep_interval, SWEEP_TOKEN);
         if let Some(h) = &self.health {
             ctx.arm_timer(Duration::from_nanos(h.config().epoch), HEALTH_TOKEN);
+        }
+        if let Some(iv) = self.cfg.metrics_interval {
+            ctx.arm_timer(iv, METRICS_TOKEN);
         }
     }
 
@@ -688,6 +918,12 @@ impl Node for LbNode {
                 self.health_epoch(ctx.now());
                 if let Some(h) = &self.health {
                     ctx.arm_timer(Duration::from_nanos(h.config().epoch), HEALTH_TOKEN);
+                }
+            }
+            METRICS_TOKEN => {
+                self.metrics.sample(ctx.now().as_nanos());
+                if let Some(iv) = self.cfg.metrics_interval {
+                    ctx.arm_timer(iv, METRICS_TOKEN);
                 }
             }
             _ => debug_assert!(false, "unknown LB timer token {token:?}"),
@@ -814,8 +1050,8 @@ mod tests {
         let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
         sim.run_for(Duration::from_millis(10));
         let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
-        assert_eq!(lb_node.stats.new_flows, 1);
-        assert_eq!(lb_node.stats.forwarded, 2);
+        assert_eq!(lb_node.stats().new_flows, 1);
+        assert_eq!(lb_node.stats().forwarded, 2);
         let got = delivered(&sim, sinks);
         assert_eq!(got.len(), 2);
         for (_, p) in &got {
@@ -857,7 +1093,7 @@ mod tests {
         }
         let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
         sim.run_for(Duration::from_millis(10));
-        assert_eq!(sim.node_ref::<LbNode>(lb).unwrap().stats.new_flows, 64);
+        assert_eq!(sim.node_ref::<LbNode>(lb).unwrap().stats().new_flows, 64);
         let got = delivered(&sim, sinks);
         let mut counts = [0usize; 2];
         for (i, _) in &got {
@@ -892,13 +1128,14 @@ mod tests {
         sim.run_for(Duration::from_millis(1));
         {
             let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
-            assert_eq!(lb_node.stats.flow_closes, 1, "FIN observed");
+            assert_eq!(lb_node.stats().flow_closes, 1, "FIN observed");
             assert_eq!(
-                lb_node.stats.fallback_forwards, 0,
+                lb_node.stats().fallback_forwards,
+                0,
                 "straggler used the entry"
             );
             assert_eq!(lb_node.flow_count(), 1, "entry survives the FIN");
-            assert_eq!(lb_node.stats.forwarded, 3);
+            assert_eq!(lb_node.stats().forwarded, 3);
         }
         // After idling past the timeout, the sweep reclaims it.
         sim.run_for(Duration::from_millis(20));
@@ -929,7 +1166,7 @@ mod tests {
         let script = vec![(Duration::from_micros(10), stray)];
         let (mut sim, lb, sinks) = rig(LbConfig::baseline(VIP, backends()), script);
         sim.run_for(Duration::from_millis(10));
-        assert_eq!(sim.node_ref::<LbNode>(lb).unwrap().stats.dropped, 1);
+        assert_eq!(sim.node_ref::<LbNode>(lb).unwrap().stats().dropped, 1);
         assert!(delivered(&sim, sinks).is_empty());
     }
 
@@ -965,7 +1202,8 @@ mod tests {
             lb_node.flow_count()
         );
         assert_eq!(
-            lb_node.stats.forwarded, 5002,
+            lb_node.stats().forwarded,
+            5002,
             "flood packets must still forward"
         );
         // The real flow's data packet followed its SYN to the same place.
@@ -1044,6 +1282,110 @@ mod tests {
     }
 
     #[test]
+    fn journal_records_samples_and_decisions() {
+        // Same batched workload as observe_mode_measures_batched_flow,
+        // with the journal on: every stat-counted sample must have a
+        // journal event, epoch decisions must appear with their counts,
+        // and the first event must be the init weight record.
+        let mut script = vec![(Duration::from_micros(1), client_pkt(4000, TcpFlags::SYN, 0))];
+        let mut t = Duration::from_millis(1);
+        for batch in 0..200u64 {
+            for i in 0..4u64 {
+                script.push((
+                    t + Duration::from_micros(i * 20),
+                    client_pkt(
+                        4000,
+                        TcpFlags::ACK | TcpFlags::PSH,
+                        batch as u32 * 4 + i as u32,
+                    ),
+                ));
+            }
+            t += Duration::from_millis(1);
+        }
+        let mut cfg = LbConfig::observer(VIP, backends());
+        cfg.journal = JournalMode::Full(1 << 16);
+        let (mut sim, lb, _sinks) = rig(cfg, script);
+        sim.run_for(Duration::from_millis(500));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        let events: Vec<&JournalEvent> = lb_node.journal().events().collect();
+        assert!(matches!(
+            events[0],
+            JournalEvent::WeightUpdate {
+                cause: WeightCause::Init,
+                ..
+            }
+        ));
+        let samples = events
+            .iter()
+            .filter(|e| matches!(e, JournalEvent::Sample { .. }))
+            .count() as u64;
+        assert_eq!(samples, lb_node.stats().samples);
+        assert!(samples > 50, "samples journaled: {samples}");
+        let decisions: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::EpochDecision { counts, .. } => Some(counts),
+                _ => None,
+            })
+            .collect();
+        assert!(!decisions.is_empty(), "no epoch decisions journaled");
+        assert!(decisions.iter().all(|c| c.iter().sum::<u64>() > 0));
+        // The NDJSON export round-trips.
+        let parsed = telemetry::journal::parse_ndjson(&lb_node.journal().to_ndjson()).unwrap();
+        assert_eq!(parsed.len(), events.len());
+    }
+
+    #[test]
+    fn flight_recorder_dumps_on_no_backend_drop() {
+        let mut cfg = LbConfig::baseline(VIP, backends());
+        cfg.journal = JournalMode::Ring(8);
+        let script = vec![
+            (
+                Duration::from_micros(10),
+                client_pkt(4000, TcpFlags::SYN, 1),
+            ),
+            (Duration::from_millis(5), client_pkt(4000, TcpFlags::ACK, 2)),
+        ];
+        let (mut sim, lb, _sinks) = rig(cfg, script);
+        sim.run_for(Duration::from_millis(2));
+        assert!(sim.node_ref::<LbNode>(lb).unwrap().flight_dump().is_none());
+        // Force the all-ejected state; the next packet must drop and
+        // capture the ring contents as the flight dump.
+        sim.node_mut::<LbNode>(lb).unwrap().no_backend = true;
+        sim.run_for(Duration::from_millis(10));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        assert_eq!(lb_node.stats().no_backend_drops, 1);
+        let dump = lb_node.flight_dump().expect("flight dump captured");
+        let parsed = telemetry::journal::parse_ndjson(dump).unwrap();
+        assert!(!parsed.is_empty(), "dump carries the causal history");
+    }
+
+    #[test]
+    fn metrics_timer_samples_counters() {
+        let mut script = Vec::new();
+        for i in 0..40u64 {
+            script.push((
+                Duration::from_micros(100 + i * 200),
+                client_pkt(4000 + i as u16, TcpFlags::SYN, 1),
+            ));
+        }
+        let mut cfg = LbConfig::baseline(VIP, backends());
+        cfg.metrics_interval = Some(Duration::from_millis(2));
+        let (mut sim, lb, _sinks) = rig(cfg, script);
+        sim.run_for(Duration::from_millis(11));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        let series = lb_node
+            .metrics()
+            .counter_series(super::m::RX)
+            .expect("sampling enabled");
+        let pts = series.count_series();
+        assert!(pts.len() >= 5, "timer sampled {} bins", pts.len());
+        // The final sampled cumulative value matches the live counter.
+        let merged = series.merged();
+        assert_eq!(merged.max(), lb_node.stats().rx);
+    }
+
+    #[test]
     fn observe_mode_measures_batched_flow() {
         // One flow sending batches every 1 ms: the ensemble must produce
         // samples near 1 ms and never change the weights.
@@ -1066,9 +1408,9 @@ mod tests {
         sim.run_for(Duration::from_secs(1));
         let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
         assert!(
-            lb_node.stats.samples > 100,
+            lb_node.stats().samples > 100,
             "samples: {}",
-            lb_node.stats.samples
+            lb_node.stats().samples
         );
         // After the ensemble settles, samples should be ~1 ms.
         let late: Vec<u64> = lb_node
@@ -1087,7 +1429,8 @@ mod tests {
             late.len()
         );
         assert_eq!(
-            lb_node.stats.table_rebuilds, 0,
+            lb_node.stats().table_rebuilds,
+            0,
             "observe mode must not adapt"
         );
     }

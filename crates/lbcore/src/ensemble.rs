@@ -112,8 +112,9 @@ impl EnsembleFlowState {
     }
 }
 
-/// A record of one epoch decision, kept for experiment introspection.
-#[derive(Debug, Clone, Copy)]
+/// A record of one epoch decision, kept for experiment introspection and
+/// the decision journal.
+#[derive(Debug, Clone)]
 pub struct EpochDecision {
     /// When the decision was made (the epoch boundary).
     pub at: Nanos,
@@ -121,6 +122,8 @@ pub struct EpochDecision {
     pub chosen: usize,
     /// The chosen timeout value in nanoseconds.
     pub delta: Nanos,
+    /// The per-timeout sample counts N₁…Nₖ the decision was made from.
+    pub counts: Vec<u64>,
 }
 
 /// Algorithm 2: the ensemble estimator. One instance per LB (sample counts
@@ -249,6 +252,7 @@ impl EnsembleTimeout {
                 at: now,
                 chosen: best_i,
                 delta: self.cfg.timeouts[best_i],
+                counts: self.counts.clone(),
             });
         }
         self.counts.iter_mut().for_each(|c| *c = 0);

@@ -54,6 +54,49 @@ pub enum HealthState {
     Probation,
 }
 
+impl HealthState {
+    /// Stable wire name (used by the decision journal).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Suspect => "suspect",
+            HealthState::Ejected => "ejected",
+            HealthState::Probation => "probation",
+        }
+    }
+}
+
+/// What fired a health state transition (used by the decision journal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthTrigger {
+    /// Offered-but-silent epochs crossed a threshold.
+    Silence,
+    /// An RTO-abort burst advanced the state machine early.
+    AbortBurst,
+    /// The probation probe trickle went unanswered.
+    ProbeSilent,
+    /// The ejection sit-out elapsed; backend enters probation.
+    ProbationTimeout,
+    /// Credible samples arrived; the silence run is over.
+    SamplesReturned,
+}
+
+impl HealthTrigger {
+    /// Stable wire name (used by the decision journal).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthTrigger::Silence => "silence",
+            HealthTrigger::AbortBurst => "abort_burst",
+            HealthTrigger::ProbeSilent => "probe_silent",
+            HealthTrigger::ProbationTimeout => "probation_timeout",
+            HealthTrigger::SamplesReturned => "samples_returned",
+        }
+    }
+}
+
+/// One recorded state transition: `(backend, from, to, trigger)`.
+pub type HealthTransition = (usize, HealthState, HealthState, HealthTrigger);
+
 /// Tunables for the health state machine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HealthConfig {
@@ -132,6 +175,8 @@ pub struct HealthTracker {
     backends: Vec<BackendHealth>,
     ejections: u64,
     readmissions: u64,
+    /// Transitions fired by the most recent [`HealthTracker::on_epoch`].
+    transitions: Vec<HealthTransition>,
 }
 
 impl HealthTracker {
@@ -146,6 +191,7 @@ impl HealthTracker {
             backends: vec![BackendHealth::new(); n],
             ejections: 0,
             readmissions: 0,
+            transitions: Vec::new(),
         }
     }
 
@@ -188,16 +234,21 @@ impl HealthTracker {
         let mut changed = false;
         let mut ejections = 0u64;
         let mut readmissions = 0u64;
+        // Reuse the transition buffer's capacity across epochs.
+        let mut transitions = core::mem::take(&mut self.transitions);
+        transitions.clear();
         for (b, h) in self.backends.iter_mut().enumerate() {
             let new_samples = samples[b].saturating_sub(h.last_samples);
             let offered = forwarded[b] > h.last_forwarded;
             h.last_samples = samples[b];
             h.last_forwarded = forwarded[b];
             let before = h.state;
+            let mut trigger = HealthTrigger::Silence;
             if new_samples > 0 {
                 // Alive: clear the silence run and readmit if probing.
                 h.silent_epochs = 0;
                 h.aborts = 0;
+                trigger = HealthTrigger::SamplesReturned;
                 match h.state {
                     HealthState::Suspect => h.state = HealthState::Healthy,
                     HealthState::Probation => {
@@ -212,6 +263,9 @@ impl HealthTracker {
                 // death when there was traffic to answer.
                 h.silent_epochs = h.silent_epochs.saturating_add(1);
                 let abort_burst = h.aborts >= cfg.abort_threshold;
+                if abort_burst {
+                    trigger = HealthTrigger::AbortBurst;
+                }
                 match h.state {
                     HealthState::Healthy if h.silent_epochs >= cfg.suspect_after || abort_burst => {
                         h.state = HealthState::Suspect;
@@ -233,6 +287,7 @@ impl HealthTracker {
                         h.silent_epochs = 0;
                         h.aborts = 0;
                         ejections += 1;
+                        trigger = HealthTrigger::ProbeSilent;
                     }
                     _ => {}
                 }
@@ -241,12 +296,23 @@ impl HealthTracker {
                 && now.saturating_sub(h.ejected_at) >= cfg.probation_after
             {
                 h.state = HealthState::Probation;
+                trigger = HealthTrigger::ProbationTimeout;
             }
-            changed |= h.state != before;
+            if h.state != before {
+                changed = true;
+                transitions.push((b, before, h.state, trigger));
+            }
         }
+        self.transitions = transitions;
         self.ejections += ejections;
         self.readmissions += readmissions;
         changed
+    }
+
+    /// State transitions fired by the most recent
+    /// [`HealthTracker::on_epoch`] call (cleared at every epoch).
+    pub fn last_transitions(&self) -> &[HealthTransition] {
+        &self.transitions
     }
 
     /// Mask of backends that must receive **no** traffic: true only for
@@ -367,6 +433,75 @@ mod tests {
         drive(&mut t, 13, &[(2, 5)]);
         assert_eq!(t.state(0), HealthState::Healthy);
         assert_eq!(t.readmissions(), 1);
+    }
+
+    #[test]
+    fn transitions_are_recorded_with_triggers() {
+        let mut t = HealthTracker::new(2, cfg());
+        drive(&mut t, 0, &[(0, 50)]);
+        assert_eq!(t.last_transitions(), &[]);
+        drive(&mut t, 1, &[(0, 50)]);
+        assert_eq!(
+            t.last_transitions(),
+            &[(
+                0,
+                HealthState::Healthy,
+                HealthState::Suspect,
+                HealthTrigger::Silence
+            )]
+        );
+        drive(&mut t, 2, &[(0, 50)]);
+        assert_eq!(
+            t.last_transitions(),
+            &[(
+                0,
+                HealthState::Suspect,
+                HealthState::Ejected,
+                HealthTrigger::Silence
+            )]
+        );
+        // Probation timeout, then a probe answered: readmission trigger.
+        drive(&mut t, 3, &[(0, 0); 10]);
+        assert_eq!(
+            t.last_transitions(),
+            &[(
+                0,
+                HealthState::Ejected,
+                HealthState::Probation,
+                HealthTrigger::ProbationTimeout
+            )]
+        );
+        drive(&mut t, 13, &[(2, 5)]);
+        assert_eq!(
+            t.last_transitions(),
+            &[(
+                0,
+                HealthState::Probation,
+                HealthState::Healthy,
+                HealthTrigger::SamplesReturned
+            )]
+        );
+        // A quiet epoch clears the buffer.
+        drive(&mut t, 14, &[(2, 5)]);
+        assert_eq!(t.last_transitions(), &[]);
+    }
+
+    #[test]
+    fn abort_burst_transition_carries_trigger() {
+        let mut t = HealthTracker::new(2, cfg());
+        for _ in 0..3 {
+            t.record_abort(0);
+        }
+        drive(&mut t, 0, &[(0, 50)]);
+        assert_eq!(
+            t.last_transitions(),
+            &[(
+                0,
+                HealthState::Healthy,
+                HealthState::Suspect,
+                HealthTrigger::AbortBurst
+            )]
+        );
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub use estimator::BackendEstimator;
 pub use fixed_timeout::{FixedTimeout, FlowTiming};
 pub use flow_table::{FlowEntry, FlowTable};
 pub use gossip::{merge_weights, GossipConfig};
-pub use health::{HealthConfig, HealthState, HealthTracker};
+pub use health::{HealthConfig, HealthState, HealthTracker, HealthTransition, HealthTrigger};
 pub use maglev::MaglevTable;
 pub use weights::Weights;
 

@@ -11,13 +11,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod histogram;
+pub mod journal;
 pub mod percentile;
+pub mod registry;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
 
 pub use histogram::LogHistogram;
+pub use journal::{Journal, JournalEvent, JournalMode, WeightCause};
 pub use percentile::{exact_percentile, P2Quantile};
+pub use registry::{CounterId, GaugeId, HistId, MetricsRegistry};
 pub use summary::AccuracySummary;
 pub use table::Table;
 pub use timeseries::{BinnedSeries, ScalarSeries};

@@ -1,0 +1,261 @@
+//! Per-node metrics registry: named counters, gauges, and log-histograms
+//! behind stable integer ids, with optional sim-timer sampling into
+//! [`BinnedSeries`](crate::BinnedSeries).
+//!
+//! This replaces ad-hoc stats-struct plumbing: a node registers its
+//! metrics once (in a fixed order, so ids are stable constants), bumps
+//! them by id on the hot path (a bounds-checked `Vec` add — no hashing,
+//! no allocation), and harnesses scrape every metric uniformly by name.
+
+use crate::BinnedSeries;
+use crate::LogHistogram;
+
+/// Handle to a registered counter (index into the registry, stable for
+/// the registry's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(pub usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(pub usize);
+
+/// Handle to a registered log-histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(pub usize);
+
+/// Named counters / gauges / log-histograms for one node.
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    counters: Vec<(&'static str, u64)>,
+    gauges: Vec<(&'static str, f64)>,
+    hists: Vec<(&'static str, LogHistogram)>,
+    /// When sampling is enabled: one cumulative-value series per counter.
+    counter_series: Vec<BinnedSeries>,
+    sample_bin_ns: Option<u64>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            counter_series: Vec::new(),
+            sample_bin_ns: None,
+        }
+    }
+
+    /// Register a counter; ids are handed out in registration order.
+    pub fn counter(&mut self, name: &'static str) -> CounterId {
+        self.counters.push((name, 0));
+        if self.sample_bin_ns.is_some() {
+            self.counter_series
+                .push(BinnedSeries::new(self.sample_bin_ns.unwrap_or(1)));
+        }
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Register a gauge.
+    pub fn gauge(&mut self, name: &'static str) -> GaugeId {
+        self.gauges.push((name, 0.0));
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Register a log-histogram.
+    pub fn histogram(&mut self, name: &'static str) -> HistId {
+        self.hists.push((name, LogHistogram::new()));
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Increment a counter by 1.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some((_, v)) = self.counters.get_mut(id.0) {
+            *v += n;
+        } else {
+            debug_assert!(false, "unregistered counter id {}", id.0);
+        }
+    }
+
+    /// Overwrite a counter with a cumulative value maintained elsewhere.
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        if let Some((_, c)) = self.counters.get_mut(id.0) {
+            *c = v;
+        } else {
+            debug_assert!(false, "unregistered counter id {}", id.0);
+        }
+    }
+
+    /// Current counter value (0 for an unregistered id).
+    #[inline]
+    pub fn get(&self, id: CounterId) -> u64 {
+        self.counters.get(id.0).map_or(0, |&(_, v)| v)
+    }
+
+    /// Set a gauge.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
+        if let Some((_, g)) = self.gauges.get_mut(id.0) {
+            *g = v;
+        } else {
+            debug_assert!(false, "unregistered gauge id {}", id.0);
+        }
+    }
+
+    /// Current gauge value (0.0 for an unregistered id).
+    #[inline]
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges.get(id.0).map_or(0.0, |&(_, v)| v)
+    }
+
+    /// Record a value into a log-histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistId, v: u64) {
+        if let Some((_, h)) = self.hists.get_mut(id.0) {
+            h.record(v);
+        } else {
+            debug_assert!(false, "unregistered histogram id {}", id.0);
+        }
+    }
+
+    /// The histogram behind an id, if registered.
+    pub fn hist(&self, id: HistId) -> Option<&LogHistogram> {
+        self.hists.get(id.0).map(|(_, h)| h)
+    }
+
+    /// Enable periodic sampling: each [`MetricsRegistry::sample`] call
+    /// records every counter's cumulative value into a per-counter
+    /// [`BinnedSeries`] with the given bin width.
+    pub fn enable_sampling(&mut self, bin_width_ns: u64) {
+        self.sample_bin_ns = Some(bin_width_ns);
+        while self.counter_series.len() < self.counters.len() {
+            self.counter_series.push(BinnedSeries::new(bin_width_ns));
+        }
+    }
+
+    /// Sample all counters at sim time `t_ns` (no-op unless
+    /// [`MetricsRegistry::enable_sampling`] was called).
+    pub fn sample(&mut self, t_ns: u64) {
+        if self.sample_bin_ns.is_none() {
+            return;
+        }
+        for (series, &(_, v)) in self.counter_series.iter_mut().zip(self.counters.iter()) {
+            series.record(t_ns, v);
+        }
+    }
+
+    /// The sampled series for a counter (None unless sampling is on).
+    pub fn counter_series(&self, id: CounterId) -> Option<&BinnedSeries> {
+        self.counter_series.get(id.0)
+    }
+
+    /// All counters as `(name, value)` in registration order.
+    pub fn scrape(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().copied()
+    }
+
+    /// All gauges as `(name, value)` in registration order.
+    pub fn scrape_gauges(&self) -> impl Iterator<Item = (&'static str, f64)> + '_ {
+        self.gauges.iter().copied()
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Number of registered counters.
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_registration_order() {
+        let mut r = MetricsRegistry::new();
+        let a = r.counter("a");
+        let b = r.counter("b");
+        assert_eq!(a, CounterId(0));
+        assert_eq!(b, CounterId(1));
+        r.inc(a);
+        r.add(b, 5);
+        r.inc(b);
+        assert_eq!(r.get(a), 1);
+        assert_eq!(r.get(b), 6);
+        assert_eq!(r.counter_by_name("b"), Some(6));
+        assert_eq!(r.counter_by_name("zzz"), None);
+        let scraped: Vec<_> = r.scrape().collect();
+        assert_eq!(scraped, vec![("a", 1), ("b", 6)]);
+    }
+
+    #[test]
+    fn set_counter_overwrites() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("cumulative");
+        r.set_counter(c, 42);
+        r.set_counter(c, 40);
+        assert_eq!(r.get(c), 40);
+    }
+
+    #[test]
+    fn gauges_and_histograms() {
+        let mut r = MetricsRegistry::new();
+        let g = r.gauge("depth");
+        let h = r.histogram("t_lb_ns");
+        r.set_gauge(g, 2.5);
+        assert!((r.gauge_value(g) - 2.5).abs() < 1e-12);
+        for v in [100, 1_000, 10_000] {
+            r.record(h, v);
+        }
+        let hist = r.hist(h).unwrap();
+        assert_eq!(hist.count(), 3);
+    }
+
+    #[test]
+    fn sampling_builds_series_per_counter() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("rx");
+        r.enable_sampling(1_000_000);
+        for t in 0..5u64 {
+            r.add(c, 10);
+            r.sample(t * 1_000_000);
+        }
+        let series = r.counter_series(c).unwrap();
+        // Five samples, one per bin, cumulative values 10..50.
+        let pts = series.count_series();
+        assert_eq!(pts.len(), 5);
+        assert!(pts.iter().all(|&(_, n)| n == 1));
+    }
+
+    #[test]
+    fn sampling_disabled_is_noop() {
+        let mut r = MetricsRegistry::new();
+        let c = r.counter("rx");
+        r.sample(1_000);
+        assert!(r
+            .counter_series(c)
+            .map(|s| s.count_series().is_empty())
+            .unwrap_or(true));
+    }
+}

@@ -84,7 +84,7 @@ fn run(name: &str, make: impl FnOnce() -> Box<dyn Controller>) {
     println!(
         "  {name:<12}  post-injection p95 = {:>7.1} us   reaction = {reaction:<9}  rebuilds = {}",
         exact_percentile(&after, 0.95).unwrap_or(0) as f64 / 1e3,
-        lb.stats.table_rebuilds,
+        lb.stats().table_rebuilds,
     );
 }
 

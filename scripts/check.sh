@@ -23,22 +23,25 @@ cargo test -q --workspace
 
 # The root-package integration suites (determinism, DSR invariants,
 # health ejection under fault injection, multi-LB conformance and
-# invariants) and the lbcore/netsim property tests are part of
-# `--workspace` above; run them by name too so a filtered or partial
-# test invocation can't silently skip the tier-1 suites.
+# invariants, observability/journal conformance) and the lbcore/netsim
+# property tests are part of `--workspace` above; run them by name too
+# so a filtered or partial test invocation can't silently skip the
+# tier-1 suites.
 echo "==> tier-1 integration suites (release)"
 cargo test -q --release --test determinism --test dsr_invariants \
     --test health_ejection --test paper_claims \
-    --test multilb_conformance --test multilb_invariants
+    --test multilb_conformance --test multilb_invariants \
+    --test observability
 cargo test -q -p lbcore --test proptests
 cargo test -q -p netsim --test ecmp_proptests
 
-# Perf snapshot: quick variants of the pinned perfbench scenarios.
+# Perf snapshot: quick variants of the pinned perfbench scenarios, plus
+# the fig3_kv_journal overhead point (journal recording on).
 # Non-gating — numbers are host-dependent; the artifact is for trend
 # tracking (see EXPERIMENTS.md "Performance"), not pass/fail.
-echo "==> perfbench --quick (non-gating)"
-cargo run -q --release -p bench --bin perfbench -- --quick \
-    --out BENCH_perf_quick.json \
+echo "==> perfbench --quick --journal (non-gating)"
+cargo run -q --release -p bench --bin perfbench -- --quick --journal \
+    --out target/bench/BENCH_perf_quick.json \
     || echo "perfbench failed (non-gating); continuing"
 
 echo "All checks passed."

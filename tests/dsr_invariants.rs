@@ -42,7 +42,7 @@ fn lb_sees_only_client_to_vip_traffic() {
         delivered > 10_000,
         "implausibly little traffic: {delivered}"
     );
-    let stats = cluster.lb_node().stats;
+    let stats = cluster.lb_node().stats();
     assert_eq!(stats.rx, stats.forwarded + stats.dropped);
     assert_eq!(stats.dropped, 0, "the LB dropped in-scope traffic");
 }
@@ -95,7 +95,7 @@ fn no_request_lost_during_weight_churn() {
     );
     // The LB actually moved weights during this run.
     let lb = cluster.lb_node();
-    assert!(lb.stats.table_rebuilds > 0, "controller never acted");
+    assert!(lb.stats().table_rebuilds > 0, "controller never acted");
     // Both backends served traffic.
     assert!(cluster.backend_app(0).stats.gets + cluster.backend_app(0).stats.sets > 0);
     assert!(cluster.backend_app(1).stats.gets + cluster.backend_app(1).stats.sets > 0);
@@ -157,8 +157,8 @@ fn cluster_runs_are_deterministic() {
         (
             client.recorder.responses,
             client.recorder.all.quantile(0.95),
-            lb.stats.samples,
-            lb.stats.table_rebuilds,
+            lb.stats().samples,
+            lb.stats().table_rebuilds,
             lb.weights().as_slice().to_vec(),
         )
     };
@@ -186,14 +186,14 @@ fn oob_reports_drive_the_controller() {
     cluster.sim.run_for(Duration::from_millis(1500));
 
     let lb = cluster.lb_node();
-    assert_eq!(lb.stats.samples, 0, "in-band measurement must be off");
+    assert_eq!(lb.stats().samples, 0, "in-band measurement must be off");
     assert!(
-        lb.stats.oob_reports > 100,
+        lb.stats().oob_reports > 100,
         "reports: {}",
-        lb.stats.oob_reports
+        lb.stats().oob_reports
     );
     assert!(
-        lb.stats.table_rebuilds > 0,
+        lb.stats().table_rebuilds > 0,
         "controller never acted on reports"
     );
     assert!(
@@ -219,8 +219,8 @@ fn lb_failover_breaks_nothing_for_plain_maglev() {
     cluster.sim.run_for(Duration::from_millis(1600));
 
     // Both LBs carried traffic before the failure...
-    let lb0 = cluster.lb_node_i(0).stats;
-    let lb1 = cluster.lb_node_i(1).stats;
+    let lb0 = cluster.lb_node_i(0).stats();
+    let lb1 = cluster.lb_node_i(1).stats();
     assert!(lb0.forwarded > 1000, "LB0 carried {}", lb0.forwarded);
     assert!(lb1.forwarded > 1000, "LB1 carried {}", lb1.forwarded);
     // ...and no connection broke across the switchover.

@@ -100,9 +100,12 @@ fn ejection_stops_all_traffic_to_the_dead_backend() {
     assert!(after > 100, "backend 0 never readmitted: {after} sends");
 
     let lb = cluster.lb_node();
-    assert!(lb.stats.ejections >= 1, "no ejection recorded");
-    assert!(lb.stats.readmissions >= 1, "no readmission recorded");
-    assert!(lb.stats.flows_repinned > 0, "no flows migrated at ejection");
+    assert!(lb.stats().ejections >= 1, "no ejection recorded");
+    assert!(lb.stats().readmissions >= 1, "no readmission recorded");
+    assert!(
+        lb.stats().flows_repinned > 0,
+        "no flows migrated at ejection"
+    );
     let health = lb.health().expect("health tracking must be on");
     assert_eq!(
         health.state(0),
@@ -142,7 +145,7 @@ fn dsr_invariants_hold_during_migration() {
     );
     assert_eq!(reverse, 0, "response traffic traversed the LB");
 
-    let stats = cluster.lb_node().stats;
+    let stats = cluster.lb_node().stats();
     assert_eq!(
         stats.rx,
         stats.forwarded + stats.dropped,

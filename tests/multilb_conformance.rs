@@ -99,6 +99,7 @@ fn n1_multilb_results_match_fig3_aware_exactly() {
         extra: Duration::from_millis(1),
         bin: Duration::from_millis(500),
         seed: 42,
+        journal: telemetry::JournalMode::Off,
     };
     let multi_cfg = MultiLbConfig {
         n_lbs: 1,

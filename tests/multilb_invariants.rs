@@ -45,9 +45,9 @@ fn no_cross_shard_feedback_leakage_without_gossip() {
         let node = cluster.lb_node_i(i);
         // Partial visibility is real: every shard carried traffic and
         // produced in-band samples from it.
-        assert!(node.stats.forwarded > 0, "LB {i} forwarded nothing");
-        assert!(node.stats.samples > 0, "LB {i} produced no samples");
-        assert_eq!(node.stats.gossip_merges, 0, "gossip ran while disabled");
+        assert!(node.stats().forwarded > 0, "LB {i} forwarded nothing");
+        assert!(node.stats().samples > 0, "LB {i} produced no samples");
+        assert_eq!(node.stats().gossip_merges, 0, "gossip ran while disabled");
         // Every sample this LB learned from belongs to a flow the ECMP
         // stage assigned to this LB — its weights never reacted to
         // another shard's flows.
@@ -82,7 +82,7 @@ fn gossip_merges_stay_normalized_and_pull_shards_together() {
         let mut cluster = build_multilb_cluster(&cfg);
         run_multilb_cluster(&mut cluster, &cfg);
         let merges: u64 = (0..cfg.n_lbs)
-            .map(|i| cluster.lb_node_i(i).stats.gossip_merges)
+            .map(|i| cluster.lb_node_i(i).stats().gossip_merges)
             .sum();
         let degraded: Vec<f64> = (0..cfg.n_lbs)
             .map(|i| cluster.lb_node_i(i).weights().get(0))

@@ -1,0 +1,161 @@
+//! Observability-layer integration tests: journal determinism, NDJSON
+//! round-tripping, the flight-recorder/journal's non-interference with
+//! the pinned packet schedule, and `lbtrace`'s conformance with the
+//! live experiment's reaction metric.
+
+use bench::lbtrace::Trace;
+use experiments::fig3::{run_fig3_aware, Fig3Config};
+use experiments::topology::{KvCluster, KvClusterConfig, VIP};
+use lb_dataplane::LbConfig;
+use lbcore::AlphaShift;
+use netsim::{Duration, Time};
+use telemetry::{journal::parse_ndjson, Journal, JournalMode};
+
+/// A short Fig. 3 run with the journal recording.
+fn short_cfg(seed: u64) -> Fig3Config {
+    Fig3Config {
+        duration: Duration::from_secs(3),
+        inject_at: Duration::from_secs(1),
+        bin: Duration::from_millis(500),
+        seed,
+        journal: JournalMode::Full(1 << 20),
+        ..Fig3Config::default()
+    }
+}
+
+/// Same seed → byte-identical NDJSON; different seed → different bytes.
+/// (Journal timestamps are sim time and float formatting is the shortest
+/// round-trip form, so there is nothing run-dependent to leak in.)
+#[test]
+fn journal_is_a_pure_function_of_the_seed() {
+    let a = run_fig3_aware(&short_cfg(42)).journal;
+    let b = run_fig3_aware(&short_cfg(42)).journal;
+    assert!(!a.is_empty(), "journal came back empty");
+    assert_eq!(a, b, "same seed produced different journal bytes");
+
+    let c = run_fig3_aware(&short_cfg(43)).journal;
+    assert_ne!(a, c, "seed had no effect on the journal");
+}
+
+/// A real capture survives parse → re-serialize byte-identically.
+#[test]
+fn ndjson_round_trips_a_real_capture() {
+    let text = run_fig3_aware(&short_cfg(42)).journal;
+    let events = parse_ndjson(&text).expect("capture must parse");
+    assert!(
+        events.len() > 100,
+        "implausibly few events: {}",
+        events.len()
+    );
+    // Timestamps are monotone non-decreasing (emission order).
+    for w in events.windows(2) {
+        assert!(w[0].at() <= w[1].at(), "journal out of order: {w:?}");
+    }
+    let mut j = Journal::new(JournalMode::Full(events.len() + 1));
+    for e in &events {
+        j.push(e.clone());
+    }
+    assert_eq!(j.to_ndjson(), text, "re-serialization changed bytes");
+}
+
+/// The acceptance check: with the journal on for a fig3 run, `lbtrace`
+/// reproduces the experiment's reaction time exactly from the NDJSON
+/// alone, and `explain` walks the decisive weight shift back to an
+/// epoch-δ decision and the samples that drove it.
+#[test]
+fn lbtrace_reaction_and_explanation_match_the_experiment() {
+    let mut cfg = Fig3Config::quick();
+    cfg.journal = JournalMode::Full(1 << 22);
+    let run = run_fig3_aware(&cfg);
+    let inject_ns = (Time::ZERO + cfg.inject_at).as_nanos();
+    assert!(
+        run.first_reaction.is_some(),
+        "quick fig3 run produced no reaction"
+    );
+
+    let trace = Trace::parse(&run.journal).expect("journal must parse");
+    assert_eq!(
+        trace.reaction_time(0, inject_ns),
+        run.first_reaction,
+        "journal-derived reaction diverged from the experiment's"
+    );
+
+    // The first post-injection shift is explainable end to end.
+    let ex = trace
+        .explain_shift(inject_ns)
+        .expect("no weight shift after injection");
+    assert!(ex.shift.at() >= inject_ns);
+    assert!(
+        ex.decision.is_some(),
+        "no epoch decision found for the victim"
+    );
+    assert!(
+        !ex.samples.is_empty(),
+        "shift explained by zero samples — causal chain broken"
+    );
+
+    // The decisive shift (the one crossing the half-traffic threshold)
+    // names the degraded backend as the victim.
+    let at_reaction = trace
+        .explain_shift(run.first_reaction.unwrap())
+        .expect("no shift at the reaction time");
+    assert_eq!(
+        at_reaction.victim, 0,
+        "reaction shift blamed the wrong backend"
+    );
+}
+
+/// Folds a finished simulation's packet trace into an FNV-1a hash
+/// (same folding as `tests/determinism.rs`).
+fn fold_trace(sim: &netsim::Simulation) -> (u64, usize) {
+    let trace = sim.trace();
+    assert_eq!(trace.truncated, 0, "trace buffer too small for the run");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for e in trace.events() {
+        let line = format!(
+            "{};{:?};{:?};{:?};{:?};{}",
+            e.at.as_nanos(),
+            e.node,
+            e.kind,
+            e.link,
+            e.flow,
+            e.wire_len
+        );
+        for b in line.as_bytes() {
+            h = (h ^ u64::from(*b)).wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    (h, trace.events().len())
+}
+
+/// Journaling ON must not move a single packet: the fig3 trace hash with
+/// the journal recording equals the pinned hash from
+/// `tests/determinism.rs` (captured with observability off).
+#[test]
+fn journal_on_leaves_the_pinned_packet_schedule_untouched() {
+    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> = Box::new(|backends| {
+        let mut c = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+        c.journal = JournalMode::Full(1 << 22);
+        c
+    });
+    let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
+    cfg.seed = 17;
+    let mut cluster = KvCluster::build(cfg);
+    cluster.inject_backend_delay(
+        0,
+        Time::ZERO + Duration::from_millis(300),
+        Duration::from_millis(1),
+    );
+    cluster.sim.enable_trace(1 << 21);
+    cluster.sim.run_for(Duration::from_millis(600));
+    assert_eq!(
+        fold_trace(&cluster.sim),
+        (0xa0af_927b_c332_dae6, 787_483),
+        "journaling perturbed the packet schedule",
+    );
+    // And it actually recorded something.
+    assert!(
+        cluster.lb_node().journal().len() > 0,
+        "journal was enabled but empty"
+    );
+}

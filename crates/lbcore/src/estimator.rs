@@ -227,9 +227,7 @@ impl BackendEstimator {
         if fresh.len() < 2 {
             return None;
         }
-        fresh
-            .into_iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite estimate"))
+        fresh.into_iter().max_by(|a, b| a.1.total_cmp(&b.1))
     }
 
     /// The lowest fresh estimate among backends other than `excluding`.
@@ -237,7 +235,7 @@ impl BackendEstimator {
         (0..self.backends.len())
             .filter(|&b| b != excluding)
             .filter_map(|b| self.fresh_estimate(b, now))
-            .min_by(|a, b| a.partial_cmp(b).expect("finite estimate"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 

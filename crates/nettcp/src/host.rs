@@ -8,7 +8,7 @@
 //! scheduling noise) and extra local addresses (a backend accepting
 //! VIP-addressed connections under DSR replies with the VIP as source).
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::net::Ipv4Addr;
 
 use netpkt::{FlowKey, MacAddr, Packet, TcpHeader};
@@ -95,10 +95,10 @@ pub struct Host {
     conns: Vec<Option<Conn>>,
     /// Generation of the armed timer per (conn, kind); 0 = disarmed.
     armed: Vec<[u32; 3]>,
-    by_flow: HashMap<FlowKey, usize>,
+    by_flow: BTreeMap<FlowKey, usize>,
     /// Local ports of live client connections (ephemeral-port recycling).
-    ports_in_use: HashSet<u16>,
-    listeners: HashSet<u16>,
+    ports_in_use: BTreeSet<u16>,
+    listeners: BTreeSet<u16>,
     app: Option<Box<dyn App>>,
     rng: SimRng,
     next_port: u16,
@@ -129,9 +129,9 @@ impl Host {
             uplink,
             conns: Vec::new(),
             armed: Vec::new(),
-            by_flow: HashMap::new(),
-            ports_in_use: HashSet::new(),
-            listeners: HashSet::new(),
+            by_flow: BTreeMap::new(),
+            ports_in_use: BTreeSet::new(),
+            listeners: BTreeSet::new(),
             app: Some(app),
             rng: SimRng::seed_from_u64(seed),
             next_port: 33_000,

@@ -10,6 +10,7 @@ use std::time::Duration;
 struct Table {
     ordered: BTreeMap<u64, u64>,
     /// Point lookups only; never iterated.
+    // simlint: allow(g1) — point-lookup cache, no caller can observe its order
     index: HashMap<u64, usize>,
 }
 

@@ -23,6 +23,18 @@ pub struct Config {
     pub fastpath: Vec<String>,
     /// F2: controller/estimator code where float `==`/`!=` is banned.
     pub float_eq_scope: Vec<String>,
+    /// C1–C5: crates that must stay concurrency-ready (no interior
+    /// mutability, `Rc`, `static mut`, `thread_local!`, or unjustified
+    /// `unsafe`).
+    pub concurrency: Vec<String>,
+    /// G1: crates where struct fields may not hold hash containers.
+    pub g_fields: Vec<String>,
+    /// G2: crates where `partial_cmp(…).unwrap()` comparators are banned.
+    pub g_comparators: Vec<String>,
+    /// G3: crates where narrowing casts of sequence numbers are flagged.
+    pub g_seq_cast: Vec<String>,
+    /// J1: journal files whose event enum / writer / parser must agree.
+    pub journal: Vec<String>,
 }
 
 impl Default for Config {
@@ -45,6 +57,23 @@ impl Default for Config {
                 "crates/lbcore/src/maglev.rs",
             ]),
             float_eq_scope: v(&["crates/lbcore/src", "crates/telemetry/src"]),
+            concurrency: v(&[
+                "crates/netsim",
+                "crates/nettcp",
+                "crates/lbcore",
+                "crates/lb-dataplane",
+                "crates/workload",
+            ]),
+            g_fields: v(&[
+                "crates/netsim",
+                "crates/nettcp",
+                "crates/lbcore",
+                "crates/lb-dataplane",
+                "crates/workload",
+            ]),
+            g_comparators: v(&["crates/lbcore/src", "crates/telemetry/src"]),
+            g_seq_cast: v(&["crates/netsim", "crates/nettcp", "crates/lb-dataplane"]),
+            journal: v(&["crates/telemetry/src/journal.rs"]),
         }
     }
 }
@@ -92,7 +121,8 @@ impl Config {
             if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
                 section = name.trim().to_string();
                 match section.as_str() {
-                    "scan" | "rules.d1" | "rules.d3" | "rules.f1" | "rules.f2" => {}
+                    "scan" | "rules.d1" | "rules.d3" | "rules.f1" | "rules.f2" | "rules.c"
+                    | "rules.g" | "rules.j" => {}
                     other => {
                         return Err(ConfigError {
                             line: lineno,
@@ -119,6 +149,11 @@ impl Config {
                 ("rules.d3", "deterministic") => &mut cfg.deterministic,
                 ("rules.f1", "fastpath") => &mut cfg.fastpath,
                 ("rules.f2", "scope") => &mut cfg.float_eq_scope,
+                ("rules.c", "scope") => &mut cfg.concurrency,
+                ("rules.g", "fields") => &mut cfg.g_fields,
+                ("rules.g", "comparators") => &mut cfg.g_comparators,
+                ("rules.g", "seq_cast") => &mut cfg.g_seq_cast,
+                ("rules.j", "journal") => &mut cfg.journal,
                 _ => {
                     return Err(ConfigError {
                         line: lineno,
@@ -234,6 +269,20 @@ fastpath = ["crates/netpkt/src"]
         let text = "[rules.d3]\ndeterministic = [\n \"a\", # one\n \"b\",\n]\n";
         let cfg = Config::parse(text).unwrap();
         assert_eq!(cfg.deterministic, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn parse_accepts_c_g_j_sections() {
+        let text = "[rules.c]\nscope = [\"crates/x\"]\n\
+                    [rules.g]\nfields = [\"a\"]\ncomparators = [\"b\"]\nseq_cast = [\"c\"]\n\
+                    [rules.j]\njournal = [\"crates/t/src/journal.rs\"]\n";
+        let cfg = Config::parse(text).unwrap();
+        assert_eq!(cfg.concurrency, vec!["crates/x"]);
+        assert_eq!(cfg.g_fields, vec!["a"]);
+        assert_eq!(cfg.g_comparators, vec!["b"]);
+        assert_eq!(cfg.g_seq_cast, vec!["c"]);
+        assert_eq!(cfg.journal, vec!["crates/t/src/journal.rs"]);
+        assert!(Config::parse("[rules.c]\nallow = [\"x\"]\n").is_err());
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The workspace symbol index: every item in every scanned crate,
+//! collected in one pass before the rules run.
+//!
+//! Per-file rules only see one file at a time; the index is what gives
+//! cross-file rules a workspace view. The J-rule uses it to locate the
+//! `JournalEvent` enum and its writer/parser functions wherever they
+//! live, and `--symbols` dumps it for debugging. Lookup is by item
+//! name; entries carry the defining file so a rule can check the hit is
+//! in its configured scope.
+
+use crate::items::{self, Item};
+use crate::scanner::SourceFile;
+use crate::token::{self, Tok};
+use std::collections::BTreeMap;
+
+/// One file's parse artifacts, retained so rules never lex twice.
+pub struct FileSyntax {
+    /// Workspace-relative path.
+    pub path: String,
+    /// The line scanner's view (stripped lines, test regions, allows).
+    pub src: SourceFile,
+    /// The token stream.
+    pub toks: Vec<Tok>,
+    /// Parsed items (flattened, source order).
+    pub items: Vec<Item>,
+}
+
+/// The workspace-wide symbol index.
+#[derive(Default)]
+pub struct SymbolIndex {
+    /// Per-file syntax, in scan order.
+    pub files: Vec<FileSyntax>,
+    /// Item name → indices into a flat (file, item) list.
+    by_name: BTreeMap<String, Vec<(usize, usize)>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index over `(path, text)` pairs in one pass.
+    pub fn build(files: &[(String, String)]) -> SymbolIndex {
+        let mut idx = SymbolIndex::default();
+        for (path, text) in files {
+            let src = SourceFile::parse(text);
+            let toks = token::lex(text);
+            let items = items::parse_items(&toks);
+            let file_no = idx.files.len();
+            for (item_no, item) in items.iter().enumerate() {
+                idx.by_name
+                    .entry(item.name.clone())
+                    .or_default()
+                    .push((file_no, item_no));
+            }
+            idx.files.push(FileSyntax {
+                path: path.clone(),
+                src,
+                toks,
+                items,
+            });
+        }
+        idx
+    }
+
+    /// Every item with this name, with its defining file.
+    pub fn lookup(&self, name: &str) -> impl Iterator<Item = (&FileSyntax, &Item)> {
+        self.by_name
+            .get(name)
+            .into_iter()
+            .flatten()
+            .map(|&(f, i)| (&self.files[f], &self.files[f].items[i]))
+    }
+
+    /// The syntax of one file, by workspace-relative path.
+    pub fn file(&self, path: &str) -> Option<&FileSyntax> {
+        self.files.iter().find(|f| f.path == path)
+    }
+
+    /// Total number of indexed items.
+    pub fn len(&self) -> usize {
+        self.files.iter().map(|f| f.items.len()).sum()
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items::ItemKind;
+
+    #[test]
+    fn indexes_items_across_files() {
+        let files = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "pub struct Foo { x: u8 }\n".to_string(),
+            ),
+            (
+                "crates/b/src/lib.rs".to_string(),
+                "pub fn process(f: Foo) {}\npub enum Foo { A }\n".to_string(),
+            ),
+        ];
+        let idx = SymbolIndex::build(&files);
+        assert_eq!(idx.len(), 3);
+        let hits: Vec<(&str, ItemKind)> = idx
+            .lookup("Foo")
+            .map(|(f, i)| (f.path.as_str(), i.kind))
+            .collect();
+        assert_eq!(hits.len(), 2);
+        assert!(hits.contains(&("crates/a/src/lib.rs", ItemKind::Struct)));
+        assert!(hits.contains(&("crates/b/src/lib.rs", ItemKind::Enum)));
+        assert!(idx.file("crates/a/src/lib.rs").is_some());
+        assert!(idx.lookup("missing").next().is_none());
+    }
+}

@@ -1,23 +1,23 @@
-//! simlint: the workspace determinism & fast-path static-analysis pass.
+//! simlint: the workspace determinism & concurrency-readiness
+//! static-analysis pass (binary front-end; the rules live in the
+//! `simlint` library).
 //!
 //! ```text
-//! cargo run -p simlint -- --workspace            # lint every .rs file
-//! cargo run -p simlint -- --workspace --json     # machine-readable output
+//! cargo run -p simlint -- --workspace              # lint every .rs file
+//! cargo run -p simlint -- --workspace --json       # machine-readable output
+//! cargo run -p simlint -- --workspace --update-baseline
 //! cargo run -p simlint -- crates/netsim/src/rng.rs
 //! ```
 //!
-//! Exits 0 when clean, 1 on violations, 2 on usage/config/IO errors.
-//! Rules (see `rules.rs`): D1 wall-clock, D2 ambient entropy, D3
-//! hash-order iteration, F1 fast-path panics, F2 float equality.
-//! Scopes come from `simlint.toml` at the workspace root when present.
+//! Exits 0 when clean (no deny findings, every warn finding baselined),
+//! 1 on gating findings, 2 on usage/config/IO errors. Rule families:
+//! D determinism, F fast-path, C concurrency readiness, G global
+//! ordering, J journal schema. Scopes come from `simlint.toml`; accepted
+//! warn findings live in `simlint.baseline`.
 
-mod config;
-mod rules;
-mod scanner;
-
-use config::Config;
-use rules::Violation;
-use scanner::SourceFile;
+use simlint::baseline;
+use simlint::config::Config;
+use simlint::rules::Severity;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -25,17 +25,28 @@ use std::process::ExitCode;
 struct Args {
     workspace: bool,
     json: bool,
+    update_baseline: bool,
     config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     files: Vec<PathBuf>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: simlint [--workspace] [--json] [--config <simlint.toml>] [files…]\n\
+        "usage: simlint [--workspace] [--json] [--config <simlint.toml>]\n\
+         \x20              [--baseline <simlint.baseline>] [--update-baseline] [files…]\n\
          \n\
          Lints workspace sources for determinism (D1 wall-clock, D2 entropy,\n\
-         D3 hash-order iteration) and fast-path robustness (F1 panics,\n\
-         F2 float equality). Suppress a finding with `// simlint: allow(<rule>)`."
+         D3 hash-order iteration), fast-path robustness (F1 panics, F2 float\n\
+         equality), concurrency readiness (C1 interior mutability, C2 Rc,\n\
+         C3 static mut, C4 thread_local!, C5 unsafe), global ordering\n\
+         (G1 hash-container fields, G2 non-total comparators, G3 sequence\n\
+         truncation), and journal schema drift (J1).\n\
+         \n\
+         Suppress a finding with `// simlint: allow(<rule>)`; C-family\n\
+         allows additionally need a justification after the closing paren.\n\
+         Warn-tier findings gate unless listed in the committed baseline;\n\
+         refresh it with --update-baseline."
     );
     ExitCode::from(2)
 }
@@ -44,7 +55,9 @@ fn parse_args() -> Result<Args, ExitCode> {
     let mut args = Args {
         workspace: false,
         json: false,
+        update_baseline: false,
         config: None,
+        baseline: None,
         files: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -52,8 +65,13 @@ fn parse_args() -> Result<Args, ExitCode> {
         match a.as_str() {
             "--workspace" => args.workspace = true,
             "--json" => args.json = true,
+            "--update-baseline" => args.update_baseline = true,
             "--config" => match it.next() {
                 Some(p) => args.config = Some(PathBuf::from(p)),
+                None => return Err(usage()),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => args.baseline = Some(PathBuf::from(p)),
                 None => return Err(usage()),
             },
             "--help" | "-h" => return Err(usage()),
@@ -119,54 +137,6 @@ fn rel_path(path: &Path) -> String {
     s.strip_prefix("./").unwrap_or(&s).to_string()
 }
 
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-fn print_json(violations: &[Violation]) {
-    println!("[");
-    for (i, v) in violations.iter().enumerate() {
-        let comma = if i + 1 < violations.len() { "," } else { "" };
-        println!(
-            "  {{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}{comma}",
-            v.rule,
-            json_escape(&v.path),
-            v.line,
-            v.col,
-            json_escape(&v.msg)
-        );
-    }
-    println!("]");
-}
-
-fn print_human(violations: &[Violation], files_scanned: usize) {
-    for v in violations {
-        println!("error[{}]: {}", v.rule, v.msg);
-        println!("  --> {}:{}:{}", v.path, v.line, v.col);
-        println!();
-    }
-    if violations.is_empty() {
-        println!("simlint: clean — {files_scanned} files scanned, 0 violations");
-    } else {
-        println!(
-            "simlint: {} violation(s) in {} file(s) scanned",
-            violations.len(),
-            files_scanned
-        );
-    }
-}
-
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -177,40 +147,84 @@ fn main() -> ExitCode {
         Err(code) => return code,
     };
 
-    let mut files = args.files.clone();
+    let mut paths = args.files.clone();
     if args.workspace {
-        if let Err(e) = collect_rs_files(Path::new("."), &cfg, &mut files) {
+        if let Err(e) = collect_rs_files(Path::new("."), &cfg, &mut paths) {
             eprintln!("simlint: walking workspace: {e}");
             return ExitCode::from(2);
         }
     }
 
-    let mut violations = Vec::new();
-    let mut scanned = 0usize;
-    for path in &files {
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
         let rel = rel_path(path);
-        let text = match fs::read_to_string(path) {
-            Ok(t) => t,
+        match fs::read_to_string(path) {
+            Ok(text) => files.push((rel, text)),
             Err(e) => {
                 eprintln!("simlint: cannot read {rel}: {e}");
                 return ExitCode::from(2);
             }
-        };
-        scanned += 1;
-        violations.extend(rules::check_file(&rel, &SourceFile::parse(&text), &cfg));
+        }
     }
-    violations
-        .sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+
+    let mut violations = simlint::analyze(&files, &cfg);
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("simlint.baseline"));
+
+    if args.update_baseline {
+        let text = baseline::render(&violations);
+        if let Err(e) = fs::write(&baseline_path, &text) {
+            eprintln!("simlint: cannot write {}: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        let warns = violations
+            .iter()
+            .filter(|v| v.severity == Severity::Warn)
+            .count();
+        eprintln!(
+            "simlint: wrote {} with {warns} warn finding(s)",
+            baseline_path.display()
+        );
+        // The fresh baseline covers every warn finding by construction;
+        // deny findings still gate.
+        let entries = baseline::parse(&text).expect("just-rendered baseline parses");
+        baseline::apply(&mut violations, &entries);
+    } else if baseline_path.exists() {
+        let text = match fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("simlint: cannot read {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match baseline::parse(&text) {
+            Ok(es) => es,
+            Err(e) => {
+                eprintln!("simlint: {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let stale = baseline::apply(&mut violations, &entries);
+        for e in &stale {
+            eprintln!(
+                "simlint: note: stale baseline entry (no longer matches): {}\t{}\t{}",
+                e.rule, e.path, e.snippet
+            );
+        }
+    }
 
     if args.json {
-        print_json(&violations);
+        print!("{}", simlint::render_json(&violations));
     } else {
-        print_human(&violations, scanned);
+        print!("{}", simlint::render_human(&violations, files.len()));
     }
-    if violations.is_empty() {
-        ExitCode::SUCCESS
-    } else {
+    if simlint::gates(&violations) {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -218,50 +232,19 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    /// End-to-end over the checked-in fixture files.
-    #[test]
-    fn fixture_violations_are_all_found() {
-        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures");
-        let cfg = Config::default();
-        let text = fs::read_to_string(format!("{dir}/dirty.rs")).unwrap();
-        // Pretend the fixture lives in a deterministic, fast-path,
-        // controller-scoped location so every rule applies.
-        let vs = rules::check_file(
-            "crates/lbcore/src/flow_table.rs",
-            &SourceFile::parse(&text),
-            &cfg,
-        );
-        let rules_hit: Vec<&str> = vs.iter().map(|v| v.rule).collect();
-        assert!(rules_hit.contains(&"D1"), "missing D1 in {rules_hit:?}");
-        assert!(rules_hit.contains(&"D2"), "missing D2 in {rules_hit:?}");
-        assert!(rules_hit.contains(&"D3"), "missing D3 in {rules_hit:?}");
-        assert!(rules_hit.contains(&"F1"), "missing F1 in {rules_hit:?}");
-        assert!(rules_hit.contains(&"F2"), "missing F2 in {rules_hit:?}");
-    }
-
-    #[test]
-    fn fixture_clean_file_passes_every_rule() {
-        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/fixtures");
-        let cfg = Config::default();
-        let text = fs::read_to_string(format!("{dir}/clean.rs")).unwrap();
-        let vs = rules::check_file(
-            "crates/lbcore/src/flow_table.rs",
-            &SourceFile::parse(&text),
-            &cfg,
-        );
-        assert!(vs.is_empty(), "unexpected: {vs:?}");
-    }
-
-    #[test]
-    fn json_escaping_is_valid() {
-        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
-    }
-
     #[test]
     fn rel_path_normalises() {
         assert_eq!(
             rel_path(Path::new("./crates/x/src/lib.rs")),
             "crates/x/src/lib.rs"
         );
+    }
+
+    #[test]
+    fn excluded_prefixes_are_skipped_by_scope_match() {
+        let cfg = Config::default();
+        assert!(Config::in_scope("target/debug/build.rs", &cfg.exclude));
+        assert!(Config::in_scope("crates/simlint/src/main.rs", &cfg.exclude));
+        assert!(!Config::in_scope("crates/netsim/src/sim.rs", &cfg.exclude));
     }
 }

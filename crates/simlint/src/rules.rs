@@ -1,25 +1,58 @@
-//! The lint rules.
+//! The lint rules, in five families.
 //!
-//! | rule | scope                      | bans                                        |
-//! |------|----------------------------|---------------------------------------------|
-//! | D1   | everywhere except allow    | wall-clock time (`Instant`, `SystemTime`)   |
-//! | D2   | everywhere                 | ambient entropy (`thread_rng`, `OsRng`, …)  |
-//! | D3   | deterministic crates       | iteration over `HashMap`/`HashSet`          |
-//! | F1   | fast-path files            | `unwrap()`, `expect()`, `panic!`            |
-//! | F2   | controller/estimator code  | `==`/`!=` on floating-point values          |
+//! | family      | rules | layer | bans                                             |
+//! |-------------|-------|-------|--------------------------------------------------|
+//! | determinism | D1–D3 | line  | wall clocks, ambient entropy, hash iteration     |
+//! | fastpath    | F1–F2 | line  | fast-path panics, float equality                 |
+//! | concurrency | C1–C5 | token | `RefCell`/`Cell`, `Rc`, `static mut`,            |
+//! |             |       |       | `thread_local!`, `unsafe` in deterministic crates|
+//! | global-order| G1–G3 | item  | hash containers in struct fields, non-total      |
+//! |             |       |       | float comparators, seq-number truncation casts   |
+//! | journal     | J1    | index | `JournalEvent` variants missing writer/parser arm|
 //!
-//! All rules skip `#[cfg(test)]` bodies and honour
-//! `// simlint: allow(<rule>)` markers.
+//! Severity is two-tier: **deny** findings gate CI outright; **warn**
+//! findings gate unless recorded in the committed baseline
+//! (`simlint.baseline`). All rules skip `#[cfg(test)]` code and honour
+//! `// simlint: allow(<rule>)` markers — except that C-family allows
+//! additionally require a justification after the closing paren, and J1
+//! (schema drift) cannot be allowed at all, only fixed.
 
 use crate::config::Config;
+use crate::index::{FileSyntax, SymbolIndex};
+use crate::items::{find_matches, ItemKind, MatchExpr};
 use crate::scanner::{Line, SourceFile};
+use crate::token::{Tok, TokKind};
 use std::collections::BTreeSet;
+
+/// How a finding gates the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Accepted when listed in the committed baseline; otherwise gates.
+    Warn,
+    /// Always gates; fix it or carry a justified allow marker.
+    Deny,
+}
+
+impl Severity {
+    /// Stable wire name for `--json`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
 
 /// One rule violation, pointing at real source coordinates.
 #[derive(Debug)]
 pub struct Violation {
-    /// Rule id (`D1`…`F2`).
+    /// Rule id (`D1`…`J1`).
     pub rule: &'static str,
+    /// Rule family (`determinism`, `fastpath`, `concurrency`,
+    /// `global-order`, `journal`).
+    pub family: &'static str,
+    /// Deny or warn tier.
+    pub severity: Severity,
     /// Workspace-relative path.
     pub path: String,
     /// 1-based line.
@@ -28,10 +61,18 @@ pub struct Violation {
     pub col: usize,
     /// Human-readable description.
     pub msg: String,
+    /// How to fix it, one line.
+    pub hint: &'static str,
+    /// The offending source line (stripped, trimmed) — the baseline's
+    /// line-number-independent match key.
+    pub snippet: String,
+    /// True when a baseline entry accepted this warn-tier finding.
+    pub baselined: bool,
 }
 
-/// Runs every applicable rule over one preprocessed file.
-pub fn check_file(path: &str, src: &SourceFile, cfg: &Config) -> Vec<Violation> {
+/// Runs every applicable per-file rule over one parsed file.
+pub fn check_file(path: &str, syn: &FileSyntax, cfg: &Config) -> Vec<Violation> {
+    let src = &syn.src;
     let mut out = Vec::new();
     if !Config::in_scope(path, &cfg.wallclock_allow) {
         rule_d1(path, src, &mut out);
@@ -46,8 +87,52 @@ pub fn check_file(path: &str, src: &SourceFile, cfg: &Config) -> Vec<Violation> 
     if Config::in_scope(path, &cfg.float_eq_scope) {
         rule_f2(path, src, &mut out);
     }
+    if Config::in_scope(path, &cfg.concurrency) {
+        rules_c(path, syn, &mut out);
+    }
+    if Config::in_scope(path, &cfg.g_fields) {
+        rule_g1(path, syn, &mut out);
+    }
+    if Config::in_scope(path, &cfg.g_comparators) {
+        rule_g2(path, syn, &mut out);
+    }
+    if Config::in_scope(path, &cfg.g_seq_cast) {
+        rule_g3(path, syn, &mut out);
+    }
     out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
     out
+}
+
+/// Builds a violation, capturing the snippet for baseline matching.
+#[allow(clippy::too_many_arguments)]
+fn violation(
+    rule: &'static str,
+    family: &'static str,
+    severity: Severity,
+    hint: &'static str,
+    path: &str,
+    src: &SourceFile,
+    line: usize,
+    col: usize,
+    msg: String,
+) -> Violation {
+    let snippet = src
+        .lines
+        .get(line.saturating_sub(1))
+        .map(|l| l.code.trim().to_string())
+        .unwrap_or_default();
+    Violation {
+        rule,
+        family,
+        severity,
+        path: path.to_string(),
+        line,
+        col,
+        msg,
+        hint,
+        snippet,
+        baselined: false,
+    }
 }
 
 /// Lines a rule should look at: not in a test body, not suppressed.
@@ -84,6 +169,12 @@ fn find_word_all(hay: &str, needle: &str) -> Vec<usize> {
     found
 }
 
+// --------------------------------------------------------------- D rules
+
+const HINT_D1: &str = "take sim time from the event loop; only crates/bench reads the host clock";
+const HINT_D2: &str = "seed a netsim::rng::SimRng explicitly";
+const HINT_D3: &str = "use a BTreeMap/BTreeSet or sort the keys first";
+
 /// D1: wall-clock time sources. `Duration` is fine; reading the host
 /// clock inside the simulation is not — sim time comes from the event
 /// loop.
@@ -104,15 +195,19 @@ fn rule_d1(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
             .flat_map(|p| find_word_all(&line.code, p))
             .min()
         {
-            out.push(Violation {
-                rule: "D1",
-                path: path.to_string(),
-                line: line.number,
-                col: col + 1,
-                msg: "wall-clock time in simulation code (use sim time from the event loop; \
-                      only crates/bench may read the host clock)"
+            out.push(violation(
+                "D1",
+                "determinism",
+                Severity::Deny,
+                HINT_D1,
+                path,
+                src,
+                line.number,
+                col + 1,
+                "wall-clock time in simulation code (use sim time from the event loop; \
+                 only crates/bench may read the host clock)"
                     .to_string(),
-            });
+            ));
         }
     }
 }
@@ -124,16 +219,20 @@ fn rule_d2(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
     for line in active(src, "d2") {
         for pat in PATTERNS {
             for col in find_word_all(&line.code, pat) {
-                out.push(Violation {
-                    rule: "D2",
-                    path: path.to_string(),
-                    line: line.number,
-                    col: col + 1,
-                    msg: format!(
+                out.push(violation(
+                    "D2",
+                    "determinism",
+                    Severity::Deny,
+                    HINT_D2,
+                    path,
+                    src,
+                    line.number,
+                    col + 1,
+                    format!(
                         "nondeterministic randomness `{pat}` (seed a `netsim::rng::SimRng` \
                          explicitly instead)"
                     ),
-                });
+                ));
             }
         }
     }
@@ -183,17 +282,21 @@ fn rule_d3(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
             {
                 if !line.allows("d3") {
                     let col = line.code.len() - trimmed.len() + 1;
-                    out.push(Violation {
-                        rule: "D3",
-                        path: path.to_string(),
-                        line: line.number,
+                    out.push(violation(
+                        "D3",
+                        "determinism",
+                        Severity::Deny,
+                        HINT_D3,
+                        path,
+                        src,
+                        line.number,
                         col,
-                        msg: format!(
+                        format!(
                             "hash-order iteration `{ident}{}` in a deterministic crate \
                              (use a BTreeMap/BTreeSet or sort the keys first)",
                             m.trim_end_matches('(')
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -208,28 +311,36 @@ fn rule_d3(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
             for at in find_word_all(&line.code, ident) {
                 let rest = &line.code[at + ident.len()..];
                 if let Some(m) = HASH_ITER_METHODS.iter().find(|m| rest.starts_with(**m)) {
-                    out.push(Violation {
-                        rule: "D3",
-                        path: path.to_string(),
-                        line: line.number,
-                        col: at + 1,
-                        msg: format!(
+                    out.push(violation(
+                        "D3",
+                        "determinism",
+                        Severity::Deny,
+                        HINT_D3,
+                        path,
+                        src,
+                        line.number,
+                        at + 1,
+                        format!(
                             "hash-order iteration `{ident}{}` in a deterministic crate \
                              (use a BTreeMap/BTreeSet or sort the keys first)",
                             m.trim_end_matches('(')
                         ),
-                    });
+                    ));
                 } else if for_loop_over(&line.code, at, ident) {
-                    out.push(Violation {
-                        rule: "D3",
-                        path: path.to_string(),
-                        line: line.number,
-                        col: at + 1,
-                        msg: format!(
+                    out.push(violation(
+                        "D3",
+                        "determinism",
+                        Severity::Deny,
+                        HINT_D3,
+                        path,
+                        src,
+                        line.number,
+                        at + 1,
+                        format!(
                             "hash-order iteration `for … in {ident}` in a deterministic \
                              crate (use a BTreeMap/BTreeSet or sort the keys first)"
                         ),
-                    });
+                    ));
                 }
             }
         }
@@ -325,6 +436,11 @@ fn for_loop_over(code: &str, at: usize, ident: &str) -> bool {
     after.is_empty() || after.starts_with('{')
 }
 
+// --------------------------------------------------------------- F rules
+
+const HINT_F1: &str = "return a Result/Option; a malformed packet must not abort the process";
+const HINT_F2: &str = "compare with a tolerance, or use total_cmp";
+
 /// F1: panicking calls on the packet fast path. These files process
 /// every packet; a malformed input must surface as a `Result`/`Option`,
 /// never a process abort.
@@ -340,16 +456,20 @@ fn rule_f1(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
     for line in active(src, "f1") {
         for (pat, label) in PATTERNS {
             for col in find_word_all(&line.code, pat) {
-                out.push(Violation {
-                    rule: "F1",
-                    path: path.to_string(),
-                    line: line.number,
-                    col: col + 1,
-                    msg: format!(
+                out.push(violation(
+                    "F1",
+                    "fastpath",
+                    Severity::Deny,
+                    HINT_F1,
+                    path,
+                    src,
+                    line.number,
+                    col + 1,
+                    format!(
                         "`{label}` on the packet fast path (return a Result/Option; \
                          a malformed packet must not abort the process)"
                     ),
-                });
+                ));
             }
         }
     }
@@ -396,17 +516,21 @@ fn rule_f2(path: &str, src: &SourceFile, out: &mut Vec<Violation>) {
             let left = operand_back(&line.code, i);
             let right = operand_forward(&line.code, i + 2);
             if looks_float(left) || looks_float(right) {
-                out.push(Violation {
-                    rule: "F2",
-                    path: path.to_string(),
-                    line: line.number,
-                    col: i + 1,
-                    msg: format!(
+                out.push(violation(
+                    "F2",
+                    "fastpath",
+                    Severity::Deny,
+                    HINT_F2,
+                    path,
+                    src,
+                    line.number,
+                    i + 1,
+                    format!(
                         "exact float `{}` comparison in controller/estimator code \
                          (compare with a tolerance instead)",
                         if is_eq { "==" } else { "!=" }
                     ),
-                });
+                ));
             }
             i += 2;
         }
@@ -473,163 +597,496 @@ fn looks_float(operand: &str) -> bool {
     false
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::scanner::SourceFile;
+// --------------------------------------------------------------- C rules
 
-    fn check(path: &str, src: &str) -> Vec<Violation> {
-        check_file(path, &SourceFile::parse(src), &Config::default())
-    }
+const HINT_C1: &str = "hold the state behind &mut on the owning node, not interior mutability";
+const HINT_C2: &str = "Rc is not Send; use single ownership (or Arc if sharing is unavoidable)";
+const HINT_C3: &str = "replace static mut with state owned by the node and passed down";
+const HINT_C4: &str =
+    "thread-local state diverges across worker threads; thread it through the node";
+const HINT_C5: &str = "justify the unsafe block with a simlint allow marker, or remove it";
 
-    fn rules(vs: &[Violation]) -> Vec<&'static str> {
-        vs.iter().map(|v| v.rule).collect()
+/// C1–C5: concurrency-readiness. The parallel sim core runs node
+/// regions on worker threads; these constructs either break `Send`
+/// (C1/C2), hide shared mutable state (C3/C4), or sidestep the
+/// compiler's thread-safety proofs entirely (C5). Each may be allowed,
+/// but only with a written justification on the marker.
+fn rules_c(path: &str, syn: &FileSyntax, out: &mut Vec<Violation>) {
+    const INTERIOR: &[&str] = &["RefCell", "Cell", "UnsafeCell", "OnceCell", "LazyCell"];
+    let src = &syn.src;
+    let toks = &syn.toks;
+    for (k, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let hit: Option<(&'static str, &'static str, String)> =
+            if INTERIOR.iter().any(|p| t.text == *p) {
+                Some((
+                    "C1",
+                    HINT_C1,
+                    format!("interior mutability `{}` in a deterministic crate", t.text),
+                ))
+            } else if t.text == "Rc" {
+                Some((
+                    "C2",
+                    HINT_C2,
+                    "non-`Send` shared ownership `Rc` in a deterministic crate".to_string(),
+                ))
+            } else if t.text == "static" && toks.get(k + 1).is_some_and(|n| n.is_ident("mut")) {
+                Some((
+                    "C3",
+                    HINT_C3,
+                    "`static mut` global state in a deterministic crate".to_string(),
+                ))
+            } else if t.text == "thread_local" && toks.get(k + 1).is_some_and(|n| n.is_punct("!")) {
+                Some((
+                    "C4",
+                    HINT_C4,
+                    "`thread_local!` state in a deterministic crate".to_string(),
+                ))
+            } else if t.text == "unsafe" {
+                Some((
+                    "C5",
+                    HINT_C5,
+                    "`unsafe` code in a deterministic crate".to_string(),
+                ))
+            } else {
+                None
+            };
+        let Some((rule, hint, msg)) = hit else {
+            continue;
+        };
+        let Some(line) = src.lines.get(t.line - 1) else {
+            continue;
+        };
+        if line.in_test {
+            continue;
+        }
+        let rule_lc = rule.to_ascii_lowercase();
+        if line.allows(&rule_lc) {
+            if line.allows_justified(&rule_lc) {
+                continue; // justified allow: suppressed
+            }
+            out.push(violation(
+                rule,
+                "concurrency",
+                Severity::Deny,
+                "add a justification after the marker: `// simlint: allow(c…) — why this \
+                 is safe for the parallel refactor`",
+                path,
+                src,
+                t.line,
+                t.col,
+                format!("{msg}: `allow({rule_lc})` marker lacks a justification"),
+            ));
+            continue;
+        }
+        out.push(violation(
+            rule,
+            "concurrency",
+            Severity::Deny,
+            hint,
+            path,
+            src,
+            t.line,
+            t.col,
+            msg,
+        ));
     }
+}
 
-    #[test]
-    fn d1_flags_wall_clock_outside_bench() {
-        let vs = check(
-            "crates/netsim/src/x.rs",
-            "let t = std::time::Instant::now();\n",
-        );
-        assert_eq!(rules(&vs), ["D1"]);
-        assert_eq!(vs[0].line, 1);
-        assert_eq!(vs[0].col, 9);
-    }
+// --------------------------------------------------------------- G rules
 
-    #[test]
-    fn d1_allows_bench_and_duration() {
-        assert!(check("crates/bench/src/x.rs", "let t = Instant::now();\n").is_empty());
-        assert!(check(
-            "crates/netsim/src/x.rs",
-            "let d = Duration::from_secs(1);\n"
-        )
-        .is_empty());
-    }
+const HINT_G1: &str = "use a BTreeMap/BTreeSet field so no caller can observe hash order";
+const HINT_G2: &str = "use f64::total_cmp — a total order that cannot panic or misorder";
+const HINT_G3: &str = "keep event sequence numbers u64 end-to-end, or use usize::try_from";
 
-    #[test]
-    fn d2_flags_thread_rng_anywhere() {
-        let vs = check(
-            "crates/experiments/src/x.rs",
-            "let mut r = rand::thread_rng();\n",
-        );
-        assert_eq!(rules(&vs), ["D2"]);
-        let vs = check("crates/bench/src/x.rs", "let x: u8 = rand::random();\n");
-        assert_eq!(rules(&vs), ["D2"]);
+/// G1: `HashMap`/`HashSet` held in struct fields of deterministic
+/// crates. D3 catches iteration *sites*; G1 catches the *state shape*
+/// itself — a hash-ordered field is a standing invitation for the next
+/// caller (or the parallel merge step) to observe bucket order. Public
+/// fields are deny-tier (any crate can iterate them); private fields
+/// are warn-tier (baseline-able while migration is in flight).
+fn rule_g1(path: &str, syn: &FileSyntax, out: &mut Vec<Violation>) {
+    let src = &syn.src;
+    for item in &syn.items {
+        if item.kind != ItemKind::Struct || item.in_test {
+            continue;
+        }
+        for field in &item.fields {
+            let has_hash = !find_word_all(&field.ty, "HashMap").is_empty()
+                || !find_word_all(&field.ty, "HashSet").is_empty();
+            if !has_hash {
+                continue;
+            }
+            let Some(line) = src.lines.get(field.line - 1) else {
+                continue;
+            };
+            if line.in_test || line.allows("g1") {
+                continue;
+            }
+            let severity = if field.is_pub {
+                Severity::Deny
+            } else {
+                Severity::Warn
+            };
+            out.push(violation(
+                "G1",
+                "global-order",
+                severity,
+                HINT_G1,
+                path,
+                src,
+                field.line,
+                field.col,
+                format!(
+                    "hash-ordered container in {} struct field `{}.{}` of a deterministic \
+                     crate (iteration order is per-process random)",
+                    if field.is_pub { "public" } else { "private" },
+                    item.name,
+                    field.name
+                ),
+            ));
+        }
     }
+}
 
-    #[test]
-    fn d2_ignores_strings_comments_and_tests() {
-        assert!(check("a.rs", "// thread_rng is banned\nlet m = \"thread_rng\";\n").is_empty());
-        assert!(check(
-            "a.rs",
-            "#[cfg(test)]\nmod tests {\n fn f() { let r = thread_rng(); }\n}\n"
-        )
-        .is_empty());
+/// G2: non-total float comparators — `partial_cmp(..).unwrap()` /
+/// `.expect(..)` inside `sort_by`/`max_by`/`min_by` closures. The
+/// comparator panics on NaN and, worse for a parallel merge, defines no
+/// total order; `total_cmp` is both total and panic-free.
+fn rule_g2(path: &str, syn: &FileSyntax, out: &mut Vec<Violation>) {
+    let src = &syn.src;
+    let toks = &syn.toks;
+    for (k, t) in toks.iter().enumerate() {
+        if !t.is_ident("partial_cmp") {
+            continue;
+        }
+        // `partial_cmp ( … ) . unwrap|expect` — skip the argument list.
+        let Some(open) = toks.get(k + 1).filter(|t| t.is_punct("(")) else {
+            continue;
+        };
+        let _ = open;
+        let close = skip_group(toks, k + 1);
+        let followed_by_panic = toks.get(close).is_some_and(|t| t.is_punct("."))
+            && toks
+                .get(close + 1)
+                .is_some_and(|t| t.is_ident("unwrap") || t.is_ident("expect"));
+        if !followed_by_panic {
+            continue;
+        }
+        let Some(line) = src.lines.get(t.line - 1) else {
+            continue;
+        };
+        if line.in_test || line.allows("g2") {
+            continue;
+        }
+        out.push(violation(
+            "G2",
+            "global-order",
+            Severity::Deny,
+            HINT_G2,
+            path,
+            src,
+            t.line,
+            t.col,
+            "non-total float comparator `partial_cmp(…).unwrap()` (panics on NaN and \
+             defines no total order; use `total_cmp`)"
+                .to_string(),
+        ));
     }
+}
 
-    #[test]
-    fn d3_flags_hash_iteration_in_deterministic_crates() {
-        let src = "struct S { m: HashMap<u32, u32> }\n\
-                   impl S { fn f(&self) { for v in self.m.values() { drop(v); } } }\n";
-        let vs = check("crates/lbcore/src/x.rs", src);
-        assert_eq!(rules(&vs), ["D3"]);
-        assert_eq!(vs[0].line, 2);
+/// G3: narrowing casts of event sequence numbers (`… seq … as usize`).
+/// Sequence numbers are the tie-breaker that makes the event order (and
+/// the cross-window merge of the parallel core) total; truncating one
+/// on a 32-bit target silently reorders events. Warn-tier: a cast that
+/// is provably in-range belongs in the baseline with a reason.
+fn rule_g3(path: &str, syn: &FileSyntax, out: &mut Vec<Violation>) {
+    let src = &syn.src;
+    let toks = &syn.toks;
+    for (k, t) in toks.iter().enumerate() {
+        if !t.is_ident("as") {
+            continue;
+        }
+        let narrow = toks
+            .get(k + 1)
+            .is_some_and(|n| n.is_ident("usize") || n.is_ident("u32") || n.is_ident("u16"));
+        if !narrow {
+            continue;
+        }
+        let mut idents = Vec::new();
+        operand_idents_back(toks, k, &mut idents);
+        if !idents.iter().any(|id| is_seq_ident(id)) {
+            continue;
+        }
+        let Some(line) = src.lines.get(t.line - 1) else {
+            continue;
+        };
+        if line.in_test || line.allows("g3") {
+            continue;
+        }
+        out.push(violation(
+            "G3",
+            "global-order",
+            Severity::Warn,
+            HINT_G3,
+            path,
+            src,
+            t.line,
+            t.col,
+            format!(
+                "sequence number truncated by `as {}` (event order relies on the full \
+                 u64 sequence)",
+                toks[k + 1].text
+            ),
+        ));
     }
+}
 
-    #[test]
-    fn d3_flags_let_bound_maps_and_for_loops() {
-        let src = "fn f() {\n let mut seen = HashSet::new();\n for k in &seen { drop(k); }\n}\n";
-        let vs = check("crates/netsim/src/x.rs", src);
-        assert_eq!(rules(&vs), ["D3"]);
-        let src2 = "fn f(m: &HashMap<u8, u8>) { m.retain(|_, _| true); }\n";
-        assert_eq!(rules(&check("crates/netsim/src/x.rs", src2)), ["D3"]);
-    }
+/// Identifier naming convention for sequence counters.
+fn is_seq_ident(id: &str) -> bool {
+    id == "seq" || id == "seqno" || id.starts_with("seq_") || id.ends_with("_seq")
+}
 
-    #[test]
-    fn d3_catches_multiline_method_chains() {
-        let src = "struct S { entries: HashMap<u32, u32> }\n\
-                   impl S { fn f(&self) -> Option<u32> {\n\
-                       self\n\
-                           .entries\n\
-                           .iter()\n\
-                           .map(|(_, v)| *v)\n\
-                           .min()\n\
-                   } }\n";
-        let vs = check("crates/lbcore/src/x.rs", src);
-        assert_eq!(rules(&vs), ["D3"]);
-        assert_eq!(vs[0].line, 5);
+/// Collects the identifiers of the postfix expression ending just
+/// before token `at` (the operand of an `as` cast): walks back over
+/// `ident`, `.`/`::` chains, and balanced `(…)`/`[…]` groups
+/// (collecting idents inside them too).
+fn operand_idents_back<'t>(toks: &'t [Tok], at: usize, out: &mut Vec<&'t str>) {
+    let mut i = at;
+    let mut want_primary = true;
+    while i > 0 {
+        let t = &toks[i - 1];
+        if want_primary {
+            if t.is_punct(")") || t.is_punct("]") {
+                let (open, close) = if t.is_punct(")") {
+                    ("(", ")")
+                } else {
+                    ("[", "]")
+                };
+                let mut depth = 0i32;
+                let mut j = i - 1;
+                loop {
+                    let tt = &toks[j];
+                    if tt.is_punct(close) {
+                        depth += 1;
+                    } else if tt.is_punct(open) {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else if tt.kind == TokKind::Ident {
+                        out.push(&tt.text);
+                    }
+                    if j == 0 {
+                        break;
+                    }
+                    j -= 1;
+                }
+                i = j;
+                // A call/index: the callee identifier precedes the group.
+                if i > 0 && toks[i - 1].kind == TokKind::Ident {
+                    out.push(&toks[i - 1].text);
+                    i -= 1;
+                }
+                want_primary = false;
+            } else if t.kind == TokKind::Ident {
+                out.push(&t.text);
+                i -= 1;
+                want_primary = false;
+            } else if t.kind == TokKind::Num {
+                i -= 1;
+                want_primary = false;
+            } else {
+                break;
+            }
+        } else if t.is_punct(".") || t.is_punct("::") {
+            i -= 1;
+            want_primary = true;
+        } else {
+            break;
+        }
     }
+}
 
-    #[test]
-    fn d3_permits_construction_and_lookup() {
-        let src = "fn f() {\n let mut m = HashMap::new();\n m.insert(1, 2);\n \
-                   let _ = m.get(&1);\n let _ = m.len();\n}\n";
-        assert!(check("crates/lbcore/src/x.rs", src).is_empty());
+/// Index just past the balanced group opening at `at`.
+fn skip_group(toks: &[Tok], at: usize) -> usize {
+    let open = toks[at].text.clone();
+    let close = match open.as_str() {
+        "(" => ")",
+        "[" => "]",
+        _ => "}",
+    };
+    let mut depth = 0i32;
+    let mut i = at;
+    while i < toks.len() {
+        if toks[i].is_punct(&open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
     }
+    toks.len()
+}
 
-    #[test]
-    fn d3_not_applied_outside_deterministic_crates() {
-        let src = "fn f(m: HashMap<u8, u8>) { for k in m.keys() { drop(k); } }\n";
-        assert!(check("crates/experiments/src/x.rs", src).is_empty());
-    }
+// --------------------------------------------------------------- J rule
 
-    #[test]
-    fn f1_flags_panics_in_fastpath_files() {
-        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n\
-                   fn g(x: Option<u8>) -> u8 { x.expect(\"set\") }\n\
-                   fn h() { panic!(\"no\"); }\n";
-        let vs = check("crates/netpkt/src/packet.rs", src);
-        assert_eq!(rules(&vs), ["F1", "F1", "F1"]);
-    }
+const HINT_J1: &str = "add the missing arm so the NDJSON round-trip covers every variant";
 
-    #[test]
-    fn f1_skips_tests_and_other_files() {
-        let src = "#[cfg(test)]\nmod tests {\n fn t() { None::<u8>.unwrap(); }\n}\n";
-        assert!(check("crates/netpkt/src/packet.rs", src).is_empty());
-        assert!(check(
-            "crates/telemetry/src/x.rs",
-            "fn f() { None::<u8>.unwrap(); }\n"
-        )
-        .is_empty());
-    }
+/// J1: journal-schema drift. Every `JournalEvent` variant must have a
+/// `write_event` arm (so it reaches the NDJSON), a `kind()` wire name,
+/// and a `parse_event` arm constructing it (so `parse_ndjson` round-
+/// trips it). A variant missing any of the three silently vanishes from
+/// offline analysis — exactly the failure the lbtrace conformance
+/// tests can't see, because they only replay events that *did* get
+/// written. Runs on the symbol index, so it finds the pieces wherever
+/// they live in the journal file.
+pub fn check_journal(index: &SymbolIndex, cfg: &Config, out: &mut Vec<Violation>) {
+    for path in &cfg.journal {
+        let Some(file) = index.file(path) else {
+            continue; // not part of this run (single-file invocation)
+        };
+        let Some(en) = file
+            .items
+            .iter()
+            .find(|i| i.kind == ItemKind::Enum && i.name == "JournalEvent" && !i.in_test)
+        else {
+            continue;
+        };
+        let matches_of = |fn_name: &str| -> Vec<MatchExpr> {
+            file.items
+                .iter()
+                .filter(|i| i.kind == ItemKind::Fn && i.name == fn_name && !i.in_test)
+                .filter_map(|i| i.body.clone())
+                .flat_map(|body| find_matches(&file.toks, body))
+                .collect()
+        };
 
-    #[test]
-    fn f2_flags_float_equality_in_scope() {
-        let vs = check(
-            "crates/lbcore/src/controller.rs",
-            "if gain == 0.0 { return; }\n",
-        );
-        assert_eq!(rules(&vs), ["F2"]);
-        let vs = check("crates/lbcore/src/estimator.rs", "let b = x as f64 != y;\n");
-        assert_eq!(rules(&vs), ["F2"]);
-    }
+        // kind(): JournalEvent::X pattern → "wire_name" body.
+        let mut wire_of: Vec<(String, String)> = Vec::new();
+        for m in matches_of("kind") {
+            for arm in &m.arms {
+                let vars = variant_idents(&file.toks, arm.pat.clone());
+                let wire = file.toks[arm.body.clone()]
+                    .iter()
+                    .find(|t| t.kind == TokKind::Str)
+                    .map(|t| t.text.clone());
+                if let Some(w) = wire {
+                    for v in vars {
+                        wire_of.push((v, w.clone()));
+                    }
+                }
+            }
+        }
+        // write_event(): variants covered by any arm pattern.
+        let mut written: BTreeSet<String> = BTreeSet::new();
+        for m in matches_of("write_event") {
+            for arm in &m.arms {
+                written.extend(variant_idents(&file.toks, arm.pat.clone()));
+            }
+        }
+        // parse_event(): "wire_name" pattern → variants constructed in
+        // the arm body.
+        let mut parsed: Vec<(String, String)> = Vec::new();
+        for m in matches_of("parse_event") {
+            for arm in &m.arms {
+                let Some(wire) = file.toks[arm.pat.clone()]
+                    .iter()
+                    .find(|t| t.kind == TokKind::Str)
+                    .map(|t| t.text.clone())
+                else {
+                    continue;
+                };
+                for v in variant_idents(&file.toks, arm.body.clone()) {
+                    parsed.push((wire.clone(), v));
+                }
+            }
+        }
 
-    #[test]
-    fn f2_permits_integer_equality_and_tolerance() {
-        assert!(check("crates/lbcore/src/controller.rs", "if n == 0 { return; }\n").is_empty());
-        assert!(check(
-            "crates/lbcore/src/controller.rs",
-            "if (a - b).abs() < 1e-9 { return; }\n"
-        )
-        .is_empty());
-        // Out of scope: fine.
-        assert!(check("crates/netsim/src/x.rs", "if gain == 0.0 {}\n").is_empty());
+        for v in &en.variants {
+            if !written.contains(&v.name) {
+                out.push(violation(
+                    "J1",
+                    "journal",
+                    Severity::Deny,
+                    HINT_J1,
+                    path,
+                    &file.src,
+                    v.line,
+                    1,
+                    format!(
+                        "journal-schema drift: `JournalEvent::{}` has no `write_event` arm \
+                         (events of this kind never reach the NDJSON)",
+                        v.name
+                    ),
+                ));
+            }
+            let wires: Vec<&str> = wire_of
+                .iter()
+                .filter(|(var, _)| *var == v.name)
+                .map(|(_, w)| w.as_str())
+                .collect();
+            if wires.is_empty() {
+                out.push(violation(
+                    "J1",
+                    "journal",
+                    Severity::Deny,
+                    HINT_J1,
+                    path,
+                    &file.src,
+                    v.line,
+                    1,
+                    format!(
+                        "journal-schema drift: `JournalEvent::{}` has no `kind()` wire name",
+                        v.name
+                    ),
+                ));
+                continue;
+            }
+            for wire in wires {
+                let has_parse = parsed.iter().any(|(w, var)| w == wire && *var == v.name);
+                if !has_parse {
+                    out.push(violation(
+                        "J1",
+                        "journal",
+                        Severity::Deny,
+                        HINT_J1,
+                        path,
+                        &file.src,
+                        v.line,
+                        1,
+                        format!(
+                            "journal-schema drift: wire name \"{wire}\" has no `parse_event` \
+                             arm constructing `JournalEvent::{}` (parse_ndjson silently \
+                             loses this variant)",
+                            v.name
+                        ),
+                    ));
+                }
+            }
+        }
     }
+}
 
-    #[test]
-    fn allow_marker_suppresses_only_named_rule() {
-        let src = "let t = Instant::now(); // simlint: allow(d1)\n";
-        assert!(check("crates/netsim/src/x.rs", src).is_empty());
-        let src2 = "let t = Instant::now(); // simlint: allow(f1)\n";
-        assert_eq!(rules(&check("crates/netsim/src/x.rs", src2)), ["D1"]);
+/// Variant names referenced as `JournalEvent::X` in a token range.
+fn variant_idents(toks: &[Tok], range: std::ops::Range<usize>) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = range.start;
+    while i + 2 < range.end {
+        if toks[i].is_ident("JournalEvent")
+            && toks[i + 1].is_punct("::")
+            && toks[i + 2].kind == TokKind::Ident
+        {
+            out.push(toks[i + 2].text.clone());
+            i += 3;
+        } else {
+            i += 1;
+        }
     }
-
-    #[test]
-    fn violations_sorted_by_position() {
-        let src = "fn f(x: Option<u8>) { let t = Instant::now(); x.unwrap(); }\n";
-        let vs = check("crates/netpkt/src/x.rs", src);
-        assert_eq!(rules(&vs), ["D1", "F1"]);
-        assert!(vs[0].col < vs[1].col);
-    }
+    out
 }

@@ -11,6 +11,17 @@
 //! is enough for the pattern rules to avoid false positives inside
 //! comments and literals.
 
+/// One `simlint: allow(rule)` suppression attached to a line.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Rule id, lowercase.
+    pub rule: String,
+    /// True when the marker carries a justification — non-empty text
+    /// after the closing paren (`// simlint: allow(c1) — scratch state,
+    /// never shared`). C-family rules refuse unjustified allows.
+    pub justified: bool,
+}
+
 /// One source line, preprocessed.
 pub struct Line {
     /// 1-based line number.
@@ -21,16 +32,25 @@ pub struct Line {
     pub code: String,
     /// True when the line is inside a `#[cfg(test)]` item body.
     pub in_test: bool,
-    /// Rule ids (lowercase) suppressed on this line via
-    /// `// simlint: allow(rule, …)` on the same or the preceding
-    /// comment-only line.
-    pub allowed: Vec<String>,
+    /// Suppressions active on this line, from a `// simlint:
+    /// allow(rule, …)` marker on the same line or on a comment line
+    /// above it (intervening `#[…]` attribute lines are skipped).
+    pub allowed: Vec<Allow>,
 }
 
 impl Line {
     /// True when `rule` (case-insensitive) is suppressed on this line.
     pub fn allows(&self, rule: &str) -> bool {
-        self.allowed.iter().any(|a| a.eq_ignore_ascii_case(rule))
+        self.allowed
+            .iter()
+            .any(|a| a.rule.eq_ignore_ascii_case(rule))
+    }
+
+    /// True when `rule` is suppressed *with a justification*.
+    pub fn allows_justified(&self, rule: &str) -> bool {
+        self.allowed
+            .iter()
+            .any(|a| a.rule.eq_ignore_ascii_case(rule) && a.justified)
     }
 }
 
@@ -51,8 +71,15 @@ impl SourceFile {
         let mut lines = Vec::with_capacity(raw_lines.len());
         for (i, raw) in raw_lines.iter().enumerate() {
             let mut allowed = parse_allows(raw);
-            if i > 0 {
-                let prev = raw_lines[i - 1].trim_start();
+            // A marker on a preceding comment line also applies; skip
+            // over attribute lines (`#[derive(..)]`) between the marker
+            // and the code it annotates.
+            let mut j = i;
+            while j > 0 && raw_lines[j - 1].trim_start().starts_with("#[") {
+                j -= 1;
+            }
+            if j > 0 {
+                let prev = raw_lines[j - 1].trim_start();
                 if prev.starts_with("//") {
                     allowed.extend(parse_allows(prev));
                 }
@@ -335,18 +362,26 @@ fn mark_test_regions(code_lines: &[&str]) -> Vec<bool> {
 }
 
 /// Extracts rule names from every `simlint: allow(a, b)` marker in a
-/// raw line.
-fn parse_allows(raw: &str) -> Vec<String> {
+/// raw line. Text after the closing paren (dashes/colons stripped) is
+/// the justification; its presence marks the allow as justified.
+fn parse_allows(raw: &str) -> Vec<Allow> {
     const MARK: &str = "simlint: allow(";
     let mut out = Vec::new();
     let mut rest = raw;
     while let Some(p) = rest.find(MARK) {
         let after = &rest[p + MARK.len()..];
         let Some(close) = after.find(')') else { break };
+        let tail = after[close + 1..]
+            .trim_start_matches([' ', '\t', '-', ':', '—', '–'])
+            .trim();
+        let justified = !tail.is_empty();
         for rule in after[..close].split(',') {
             let rule = rule.trim();
             if !rule.is_empty() {
-                out.push(rule.to_ascii_lowercase());
+                out.push(Allow {
+                    rule: rule.to_ascii_lowercase(),
+                    justified,
+                });
             }
         }
         rest = &after[close..];
@@ -439,5 +474,31 @@ mod tests {
         assert!(!s.lines[0].allows("d2"));
         assert!(s.lines[2].allows("d2"));
         assert!(s.lines[2].allows("D3"));
+    }
+
+    #[test]
+    fn allow_markers_skip_intervening_attribute_lines() {
+        let src = "// simlint: allow(g1)\n\
+                   #[derive(Debug, Clone)]\n\
+                   #[allow(dead_code)]\n\
+                   struct S { m: u8 }\n";
+        let s = SourceFile::parse(src);
+        assert!(s.lines[3].allows("g1"), "marker must cross attributes");
+        // Attribute lines themselves also inherit the marker.
+        assert!(s.lines[1].allows("g1"));
+        // But unrelated code further down does not.
+        let src2 = "// simlint: allow(g1)\n#[derive(Debug)]\nstruct S;\nstruct T;\n";
+        let s2 = SourceFile::parse(src2);
+        assert!(s2.lines[2].allows("g1"));
+        assert!(!s2.lines[3].allows("g1"));
+    }
+
+    #[test]
+    fn allow_justification_is_detected() {
+        let src = "let a = RefCell::new(1); // simlint: allow(c1) — scratch, never shared\n\
+                   let b = RefCell::new(2); // simlint: allow(c1)\n";
+        let s = SourceFile::parse(src);
+        assert!(s.lines[0].allows("c1") && s.lines[0].allows_justified("c1"));
+        assert!(s.lines[1].allows("c1") && !s.lines[1].allows_justified("c1"));
     }
 }

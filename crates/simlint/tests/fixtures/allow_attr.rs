@@ -1,0 +1,13 @@
+//! Negative fixture: an allow marker separated from its line by
+//! attribute lines still attaches (the scanner skips `#[…]` rows when
+//! looking for the preceding marker). Not compiled; consumed by the
+//! golden tests.
+
+pub fn stamp() -> u64 {
+    // simlint: allow(d1) — compared against host time only in reporting
+    #[allow(clippy::let_and_return)]
+    #[inline(never)]
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

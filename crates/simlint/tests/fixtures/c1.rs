@@ -1,0 +1,8 @@
+//! Fixture: C1 — interior mutability in a deterministic crate.
+//! Not compiled; consumed by the golden tests.
+
+pub fn shared() -> u32 {
+    let c = std::cell::RefCell::new(7u32);
+    let v = *c.borrow();
+    v
+}

@@ -1,0 +1,7 @@
+//! Fixture: C2 — non-`Send` shared ownership (`Rc`) in a
+//! deterministic crate. Not compiled; consumed by the golden tests.
+
+pub fn counted() -> u32 {
+    let r = std::rc::Rc::new(3u32);
+    *r
+}

@@ -1,0 +1,4 @@
+//! Fixture: C3 — `static mut` global state in a deterministic crate.
+//! Not compiled; consumed by the golden tests.
+
+static mut COUNTER: u64 = 0;

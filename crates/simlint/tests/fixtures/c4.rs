@@ -1,0 +1,6 @@
+//! Fixture: C4 — `thread_local!` state in a deterministic crate.
+//! Not compiled; consumed by the golden tests.
+
+thread_local! {
+    pub static SLOT: u64 = 0;
+}

@@ -1,0 +1,6 @@
+//! Fixture: C5 — `unsafe` code in a deterministic crate.
+//! Not compiled; consumed by the golden tests.
+
+pub fn peek(p: *const u64) -> u64 {
+    unsafe { *p }
+}

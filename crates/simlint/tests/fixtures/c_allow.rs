@@ -1,0 +1,14 @@
+//! Fixture: C-family allow markers. The first `unsafe` carries a
+//! justified allow and is suppressed; the second has a bare allow and
+//! is reported as lacking a justification. Not compiled; consumed by
+//! the golden tests.
+
+pub fn ok(p: *const u64) -> u64 {
+    // simlint: allow(c5) — caller guarantees the pointer is in-bounds
+    unsafe { *p }
+}
+
+pub fn not_ok(p: *const u64) -> u64 {
+    // simlint: allow(c5)
+    unsafe { *p }
+}

@@ -1,0 +1,9 @@
+//! Fixture: D1 — wall-clock time in simulation code.
+//! Not compiled; consumed by the golden tests under a deterministic
+//! pretend path.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    let _ = t;
+    0
+}

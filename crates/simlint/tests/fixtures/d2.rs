@@ -1,0 +1,7 @@
+//! Fixture: D2 — ambient entropy instead of a seeded SimRng.
+//! Not compiled; consumed by the golden tests.
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,10 @@
+//! Fixture: D3 — hash-order iteration in a deterministic crate.
+//! Not compiled; consumed by the golden tests.
+
+pub fn sweep() {
+    let mut m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    m.insert(1, 2);
+    for k in m.keys() {
+        let _ = k;
+    }
+}

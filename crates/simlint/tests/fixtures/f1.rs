@@ -1,0 +1,8 @@
+//! Fixture: F1 — panicking call on the packet fast path.
+//! Not compiled; consumed by the golden tests under a fast-path
+//! pretend path.
+
+pub fn parse(b: &[u8]) -> u16 {
+    let hi = *b.first().unwrap();
+    u16::from(hi)
+}

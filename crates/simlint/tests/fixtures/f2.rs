@@ -1,0 +1,6 @@
+//! Fixture: F2 — exact float equality in controller/estimator code.
+//! Not compiled; consumed by the golden tests.
+
+pub fn at_zero(gain: f64) -> bool {
+    gain == 0.0
+}

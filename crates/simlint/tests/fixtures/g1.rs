@@ -1,0 +1,10 @@
+//! Fixture: G1 — hash containers in struct fields of a deterministic
+//! crate. The public field is deny-tier, the private one warn-tier.
+//! Not compiled; consumed by the golden tests.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Table {
+    pub by_key: HashMap<u64, u64>,
+    seen: HashSet<u64>,
+}

@@ -1,0 +1,8 @@
+//! Fixture: G2 — non-total float comparator.
+//! Not compiled; consumed by the golden tests.
+
+pub fn pick(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v[0]
+}

@@ -1,0 +1,7 @@
+//! Fixture: G3 — event sequence number truncated by a narrowing cast.
+//! Warn-tier: gates unless baselined. Not compiled; consumed by the
+//! golden tests.
+
+pub fn widen(seq: u64) -> usize {
+    seq as usize
+}

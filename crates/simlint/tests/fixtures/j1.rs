@@ -1,0 +1,33 @@
+//! Fixture: J1 — journal-schema drift. `JournalEvent::Dropped` has a
+//! `kind()` wire name and a `write_event` arm, but the `parse_event`
+//! arm for "dropped" is deliberately missing, so parse_ndjson would
+//! silently lose the variant. Not compiled; consumed by the golden
+//! tests under the journal pretend path.
+
+pub enum JournalEvent {
+    Sample { rtt: u64 },
+    Dropped { count: u64 },
+}
+
+impl JournalEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::Sample { .. } => "sample",
+            JournalEvent::Dropped { .. } => "dropped",
+        }
+    }
+}
+
+pub fn write_event(ev: &JournalEvent) -> String {
+    match ev {
+        JournalEvent::Sample { rtt } => format!("sample {rtt}"),
+        JournalEvent::Dropped { count } => format!("dropped {count}"),
+    }
+}
+
+pub fn parse_event(kind: &str, v: u64) -> Option<JournalEvent> {
+    match kind {
+        "sample" => Some(JournalEvent::Sample { rtt: v }),
+        _ => None,
+    }
+}

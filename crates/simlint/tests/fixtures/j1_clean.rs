@@ -1,0 +1,32 @@
+//! Negative fixture: a journal whose enum, `kind()`, `write_event`,
+//! and `parse_event` all agree — zero J1 findings. Not compiled;
+//! consumed by the golden tests.
+
+pub enum JournalEvent {
+    Sample { rtt: u64 },
+    Dropped { count: u64 },
+}
+
+impl JournalEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JournalEvent::Sample { .. } => "sample",
+            JournalEvent::Dropped { .. } => "dropped",
+        }
+    }
+}
+
+pub fn write_event(ev: &JournalEvent) -> String {
+    match ev {
+        JournalEvent::Sample { rtt } => format!("sample {rtt}"),
+        JournalEvent::Dropped { count } => format!("dropped {count}"),
+    }
+}
+
+pub fn parse_event(kind: &str, v: u64) -> Option<JournalEvent> {
+    match kind {
+        "sample" => Some(JournalEvent::Sample { rtt: v }),
+        "dropped" => Some(JournalEvent::Dropped { count: v }),
+        _ => None,
+    }
+}

@@ -59,8 +59,7 @@ impl P2Quantile {
             self.heights[self.count] = value;
             self.count += 1;
             if self.count == 5 {
-                self.heights
-                    .sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+                self.heights.sort_by(|a, b| a.total_cmp(b));
             }
             return;
         }
@@ -134,7 +133,7 @@ impl P2Quantile {
         }
         if self.count < 5 {
             let mut seen: Vec<f64> = self.heights[..self.count].to_vec();
-            seen.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            seen.sort_by(|a, b| a.total_cmp(b));
             let rank = ((self.q * self.count as f64).ceil() as usize).clamp(1, self.count);
             return seen[rank - 1];
         }

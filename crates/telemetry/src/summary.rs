@@ -50,7 +50,7 @@ impl AccuracySummary {
             quantile_errors.push((q, est, tru, rel));
             errs.push(rel);
         }
-        errs.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
+        errs.sort_by(|a, b| a.total_cmp(b));
         let median_rel_err = if errs.is_empty() {
             0.0
         } else {

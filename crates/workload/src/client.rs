@@ -1,6 +1,6 @@
 //! The memtier-like closed-loop key-value client (§4 of the paper).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use netpkt::kv::{KvDecoder, KvMessage, KvOp};
@@ -74,7 +74,7 @@ impl Default for MemtierConfig {
 struct ConnTracker {
     decoder: KvDecoder,
     /// request id → (issue time ns, was GET).
-    outstanding: HashMap<u64, (u64, bool)>,
+    outstanding: BTreeMap<u64, (u64, bool)>,
     issued: u64,
     completed: u64,
     closing: bool,
@@ -84,7 +84,7 @@ impl ConnTracker {
     fn new() -> ConnTracker {
         ConnTracker {
             decoder: KvDecoder::new(),
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             issued: 0,
             completed: 0,
             closing: false,
@@ -115,7 +115,7 @@ pub struct MemtierClient {
     cfg: MemtierConfig,
     keys: KeySampler,
     rng: SimRng,
-    conns: HashMap<ConnId, ConnTracker>,
+    conns: BTreeMap<ConnId, ConnTracker>,
     next_req_id: u64,
     /// Ground-truth latency recording.
     pub recorder: LatencyRecorder,
@@ -137,7 +137,7 @@ impl MemtierClient {
             cfg,
             keys,
             rng,
-            conns: HashMap::new(),
+            conns: BTreeMap::new(),
             next_req_id: 1,
             recorder,
             stats: MemtierStats::default(),

@@ -4,16 +4,26 @@
 #   ./scripts/check.sh
 #
 # Order is cheapest-first so the common failure modes surface fast:
-# formatting, then the simlint static pass (determinism + fast-path
-# rules, see README.md "simlint"), then build, then tests.
+# formatting, then the simlint static pass (determinism, fast-path,
+# concurrency-readiness, global-ordering, and journal-schema rules, see
+# README.md "simlint"), then build, then tests.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+# Gates on deny-tier findings and on warn-tier findings not covered by
+# the committed simlint.baseline. To accept a new warn finding:
+#   cargo run -q -p simlint -- --workspace --update-baseline
 echo "==> simlint --workspace"
 cargo run -q -p simlint -- --workspace
+
+# The analyzer's own test suite (lexer, item parser, rules, baseline,
+# and the golden fixture corpus) is tier-1: a rule regression must not
+# be able to slip through via a green workspace scan alone.
+echo "==> simlint self-tests"
+cargo test -q -p simlint
 
 echo "==> cargo build --release"
 cargo build --release

@@ -42,6 +42,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if trace.dropped_tail() {
+        eprintln!("lbtrace: note: {path} ends in a truncated line (capture cut mid-write); it was ignored");
+    }
     let num = |key: &str| -> Option<u64> {
         bench::arg_value(&args, key).map(|v| {
             v.parse().unwrap_or_else(|_| {

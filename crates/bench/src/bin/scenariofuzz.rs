@@ -1,0 +1,193 @@
+//! Seeded scenario-fuzzing campaign driver.
+//!
+//! ```text
+//! scenariofuzz run --seeds 0..25 [--out FILE]   # campaign over a seed range
+//! scenariofuzz minimize --seed N [--out FILE]   # shrink a violating seed to a case
+//! scenariofuzz replay <case-file>               # re-check a committed case
+//! scenariofuzz show --seed N                    # print a seed's generated scenario
+//! ```
+//!
+//! `run` checks every seed in the range against the global invariant
+//! suite (each seed runs twice for the determinism check), prints one
+//! line per seed, optionally writes the campaign JSON report
+//! (byte-identical across runs of the same range — no wall clock in the
+//! report), and exits 1 if any seed violated an invariant.
+//!
+//! `minimize` shrinks a violating seed's scenario while the violation
+//! reproduces and writes the regression case (default
+//! `tests/fuzz_regressions/seed_<N>.case`), ready to be committed and
+//! replayed forever by the root `fuzz_regressions` suite.
+
+use std::process::ExitCode;
+
+use bench::arg_value;
+use scenariofuzz::{campaign_json, check, minimize, Scenario, SeedResult};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: scenariofuzz run --seeds A..B [--out FILE]\n       \
+         scenariofuzz minimize --seed N [--out FILE]\n       \
+         scenariofuzz replay <case-file>\n       \
+         scenariofuzz show --seed N"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args),
+        Some("minimize") => cmd_minimize(&args),
+        Some("replay") => cmd_replay(&args),
+        Some("show") => cmd_show(&args),
+        _ => usage(),
+    }
+}
+
+fn parse_seed_range(spec: &str) -> Option<(u64, u64)> {
+    let (a, b) = spec.split_once("..")?;
+    let from: u64 = a.parse().ok()?;
+    let to: u64 = b.parse().ok()?;
+    (from < to).then_some((from, to))
+}
+
+fn write_out(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("writing {path}: {e}"))
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(spec) = arg_value(args, "--seeds") else {
+        return usage();
+    };
+    let Some((from, to)) = parse_seed_range(&spec) else {
+        eprintln!("scenariofuzz: bad seed range {spec:?} (want A..B with A < B)");
+        return ExitCode::from(2);
+    };
+    let mut results = Vec::new();
+    let mut failed = 0usize;
+    for seed in from..to {
+        let sc = Scenario::generate(seed);
+        let outcome = check(&sc);
+        let names = outcome.violated_invariants();
+        if names.is_empty() {
+            println!(
+                "seed {seed:>4}: ok    lbs={} backends={} faults={} inj={} \
+                 forwarded={} ejections={}",
+                sc.lbs,
+                sc.backends.len(),
+                sc.faults.len(),
+                sc.injections.len(),
+                outcome.summary.forwarded,
+                outcome.summary.ejections
+            );
+        } else {
+            failed += 1;
+            println!("seed {seed:>4}: FAIL  violated: {}", names.join(", "));
+            for v in &outcome.violations {
+                println!("            {}: {}", v.invariant, v.detail);
+            }
+        }
+        results.push(SeedResult {
+            seed,
+            scenario: sc,
+            outcome,
+        });
+    }
+    let report = campaign_json(from, to, &results);
+    if let Some(path) = arg_value(args, "--out") {
+        if let Err(e) = write_out(&path, &report) {
+            eprintln!("scenariofuzz: {e}");
+            return ExitCode::from(2);
+        }
+        println!("campaign report: {path}");
+    }
+    println!(
+        "{} seeds, {} passed, {failed} failed",
+        to - from,
+        (to - from) as usize - failed
+    );
+    if failed > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_minimize(args: &[String]) -> ExitCode {
+    let Some(seed) = arg_value(args, "--seed").and_then(|s| s.parse::<u64>().ok()) else {
+        return usage();
+    };
+    let sc = Scenario::generate(seed);
+    eprintln!("seed {seed}: checking...");
+    let Some((minimized, invariants)) = minimize(&sc) else {
+        println!("seed {seed}: no invariant violated; nothing to minimize");
+        return ExitCode::SUCCESS;
+    };
+    let mut case = String::new();
+    case.push_str(&format!(
+        "# Minimized from seed {seed}; violates: {}\n",
+        invariants.join(", ")
+    ));
+    case.push_str(
+        "# Replay: cargo run --release -p bench --bin scenariofuzz -- replay <this file>\n",
+    );
+    case.push_str(&minimized.to_text());
+    let path = arg_value(args, "--out")
+        .unwrap_or_else(|| format!("tests/fuzz_regressions/seed_{seed}.case"));
+    if let Err(e) = write_out(&path, &case) {
+        eprintln!("scenariofuzz: {e}");
+        return ExitCode::from(2);
+    }
+    println!(
+        "seed {seed}: minimized case violating [{}] written to {path}",
+        invariants.join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.get(1) else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("scenariofuzz: reading {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let sc = match Scenario::from_text(&text) {
+        Ok(sc) => sc,
+        Err(e) => {
+            eprintln!("scenariofuzz: parsing {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = check(&sc);
+    if outcome.violations.is_empty() {
+        println!("{path}: ok (no invariant violated)");
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "{path}: FAIL  violated: {}",
+            outcome.violated_invariants().join(", ")
+        );
+        for v in &outcome.violations {
+            println!("  {}: {}", v.invariant, v.detail);
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_show(args: &[String]) -> ExitCode {
+    let Some(seed) = arg_value(args, "--seed").and_then(|s| s.parse::<u64>().ok()) else {
+        return usage();
+    };
+    print!("{}", Scenario::generate(seed).to_text());
+    ExitCode::SUCCESS
+}

@@ -15,12 +15,14 @@
 //!   weight-series points, and the same [`ScalarSeries`] lookup is used,
 //!   so the two computations cannot drift apart.
 
-use telemetry::journal::parse_ndjson;
+use telemetry::journal::parse_ndjson_lossy;
 use telemetry::{JournalEvent, ScalarSeries, WeightCause};
 
 /// A parsed journal capture, in emission (chronological) order.
+#[derive(Debug)]
 pub struct Trace {
     events: Vec<JournalEvent>,
+    dropped_tail: bool,
 }
 
 /// One weight shift traced back to its cause.
@@ -49,10 +51,15 @@ pub struct EjectionStoryline {
 }
 
 impl Trace {
-    /// Parses an NDJSON capture.
+    /// Parses an NDJSON capture. A capture truncated mid-write (killed
+    /// process, partial copy) loses its half-written final line instead
+    /// of failing the whole parse; [`Trace::dropped_tail`] reports the
+    /// drop so callers can warn. Interior corruption is still an error.
     pub fn parse(text: &str) -> Result<Trace, String> {
+        let (events, dropped_tail) = parse_ndjson_lossy(text)?;
         Ok(Trace {
-            events: parse_ndjson(text)?,
+            events,
+            dropped_tail,
         })
     }
 
@@ -60,6 +67,12 @@ impl Trace {
     pub fn load(path: &str) -> Result<Trace, String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
         Trace::parse(&text)
+    }
+
+    /// True when the capture ended in a truncated line that was dropped
+    /// during parsing.
+    pub fn dropped_tail(&self) -> bool {
+        self.dropped_tail
     }
 
     /// All events, chronological.
@@ -350,6 +363,10 @@ mod tests {
     use telemetry::{Journal, JournalMode};
 
     fn synthetic() -> Trace {
+        Trace::parse(&synthetic_ndjson()).unwrap()
+    }
+
+    fn synthetic_ndjson() -> String {
         let mut j = Journal::new(JournalMode::Full(1024));
         j.push(JournalEvent::WeightUpdate {
             at: 0,
@@ -395,7 +412,7 @@ mod tests {
             moved: 0.1,
             weights: vec![0.3, 0.7],
         });
-        Trace::parse(&j.to_ndjson()).unwrap()
+        j.to_ndjson()
     }
 
     #[test]
@@ -436,6 +453,27 @@ mod tests {
         let s = t.summary();
         assert!(s.contains("sample"), "{s}");
         assert!(s.contains("weight_update"), "{s}");
+    }
+
+    #[test]
+    fn empty_and_truncated_captures_parse_cleanly() {
+        // Empty capture: no events, no drop, summary still renders.
+        let t = Trace::parse("").unwrap();
+        assert!(t.events().is_empty());
+        assert!(!t.dropped_tail());
+        assert!(t.summary().contains("0 events"), "{}", t.summary());
+        // Truncated capture (killed mid-write): the half line is
+        // dropped and flagged, everything before it is usable.
+        let mut ndjson = synthetic_ndjson();
+        ndjson.truncate(ndjson.len() - 10);
+        let t = Trace::parse(&ndjson).unwrap();
+        assert!(t.dropped_tail(), "truncation must be flagged");
+        assert_eq!(t.events().len(), 5, "events before the tear survive");
+        assert!(t.explain_shift(0).is_some());
+        // Interior garbage is corruption, not truncation: hard error.
+        let poisoned = format!("garbage\n{}", synthetic_ndjson());
+        let err = Trace::parse(&poisoned).unwrap_err();
+        assert!(err.starts_with("line 1"), "{err}");
     }
 
     #[test]

@@ -12,6 +12,10 @@
 //! * `lbtrace` — analyzes a decision-journal NDJSON capture (see
 //!   [`lbtrace`]): sample timelines, weight-shift explanations,
 //!   ejection storylines, and the journal-derived reaction metric.
+//! * `scenariofuzz` — the seeded scenario-fuzzing campaign: `run` a
+//!   seed range against the global invariant suite, `minimize` a
+//!   violating seed to a regression case, `replay` a committed case,
+//!   `show` a seed's generated scenario.
 //!
 //! Criterion benches (run with `cargo bench`):
 //!

@@ -343,6 +343,61 @@ mod tests {
     }
 
     #[test]
+    fn capacity_one_table_replaces_its_lone_entry() {
+        // Degenerate capacity: every distinct insert evicts the single
+        // resident entry, and the table never exceeds one flow.
+        let mut t = FlowTable::with_capacity(5_000 * MS, 1);
+        t.insert(key(1), 0, timing(), 0);
+        for port in 2..=5u16 {
+            t.insert(key(port), 0, timing(), u64::from(port) * MS);
+            assert_eq!(t.len(), 1, "capacity-1 table grew");
+            assert!(t.get_mut(&key(port)).is_some(), "newest flow missing");
+            assert!(t.get_mut(&key(port - 1)).is_none(), "old flow survived");
+        }
+        assert_eq!(t.stats.evicted, 4);
+    }
+
+    #[test]
+    fn equal_last_seen_ties_evict_the_smallest_key() {
+        // All entries share one last_seen, so approximate-LRU has no
+        // recency signal: the tie must break on the key (smallest wins)
+        // to stay a pure function of table contents.
+        let mut t = FlowTable::with_capacity(5_000 * MS, 4);
+        for port in [7u16, 3, 9, 5] {
+            t.insert(key(port), 0, timing(), 42 * MS);
+        }
+        t.insert(key(8), 0, timing(), 42 * MS);
+        assert_eq!(t.len(), 4);
+        assert!(t.get_mut(&key(3)).is_none(), "smallest key must be evicted");
+        for port in [5u16, 7, 8, 9] {
+            assert!(t.get_mut(&key(port)).is_some(), "port {port} missing");
+        }
+    }
+
+    #[test]
+    fn capacity_below_probe_width_stays_exact_lru() {
+        // With capacity 8 < PROBE (16) every probe wraps and sees the
+        // whole table, so approximate LRU degenerates to exact LRU:
+        // under strictly increasing last_seen the survivors are always
+        // the most recent `capacity` inserts.
+        let mut t = FlowTable::with_capacity(5_000 * MS, 8);
+        for port in 1..=40u16 {
+            t.insert(key(port), 0, timing(), u64::from(port) * MS);
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.stats.evicted, 32);
+        for port in 1..=32u16 {
+            assert!(
+                t.get_mut(&key(port)).is_none(),
+                "port {port} should be gone"
+            );
+        }
+        for port in 33..=40u16 {
+            assert!(t.get_mut(&key(port)).is_some(), "port {port} missing");
+        }
+    }
+
+    #[test]
     fn reinsert_of_existing_key_does_not_evict() {
         let mut t = FlowTable::with_capacity(5_000 * MS, 2);
         t.insert(key(1), 0, timing(), 0);

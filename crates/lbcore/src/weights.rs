@@ -460,6 +460,63 @@ mod tests {
     }
 
     #[test]
+    fn all_ejected_refusal_is_bitwise_and_recoverable() {
+        // The refused call must not perturb even the last bit of the
+        // shares (callers keep serving from the stale vector while in
+        // no-backend drop mode), and the *next* valid call must work
+        // normally — refusal leaves no sticky state behind.
+        let mut w = Weights::equal(3, 0.02);
+        w.set(&[0.7, 0.2, 0.1]);
+        let before: Vec<u64> = w.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert!(!w.set_with_ejections(&[1.0, 1.0, 1.0], &[true, true, true]));
+        let after: Vec<u64> = w.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(before, after, "refused call must preserve shares bitwise");
+        // Readmission: the very next call with a survivor succeeds.
+        assert!(w.set_with_ejections(&[0.0, 5.0, 5.0], &[true, false, false]));
+        assert_eq!(w.get(0).to_bits(), 0.0f64.to_bits());
+        assert!((w.get(1) - 0.5).abs() < 1e-9);
+        assert!((w.get(2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_skew_pins_every_survivor_at_the_floor() {
+        // floor * n == 1.0 is feasible but leaves zero slack: water-fill
+        // must cascade until every backend is pinned at exactly the
+        // floor, whatever the skew of the input.
+        let mut w = Weights::equal(4, 0.25);
+        w.set(&[1000.0, 1.0, 1.0, 1.0]);
+        for i in 0..4 {
+            assert!((w.get(i) - 0.25).abs() < 1e-12, "w[{i}] = {}", w.get(i));
+        }
+        assert!((sum(&w) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ejection_with_near_floor_skew_cascades_pins() {
+        // Ejecting one backend tightens the survivor budget: with
+        // floor 0.2 over 3 survivors only 0.4 of mass is free, so an
+        // extreme skew pins both small survivors in a second pass.
+        let mut w = Weights::equal(4, 0.2);
+        assert!(w.set_with_ejections(&[1e6, 1.0, 1.0, 3.0], &[false, false, false, true]));
+        assert_eq!(w.get(3).to_bits(), 0.0f64.to_bits());
+        assert!((w.get(1) - 0.2).abs() < 1e-12, "pinned: {}", w.get(1));
+        assert!((w.get(2) - 0.2).abs() < 1e-12, "pinned: {}", w.get(2));
+        assert!((w.get(0) - 0.6).abs() < 1e-9, "remainder: {}", w.get(0));
+        assert!((sum(&w) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_survivor_with_zero_mass_takes_one() {
+        // The lone survivor carried no estimator mass at all; it still
+        // must take the whole share (the equal-split fallback over m=1).
+        let mut w = Weights::equal(3, 0.02);
+        assert!(w.set_with_ejections(&[0.0, 0.0, 0.0], &[true, true, false]));
+        assert_eq!(w.get(0).to_bits(), 0.0f64.to_bits());
+        assert_eq!(w.get(1).to_bits(), 0.0f64.to_bits());
+        assert_eq!(w.get(2).to_bits(), 1.0f64.to_bits());
+    }
+
+    #[test]
     fn ejection_respects_floor_among_survivors() {
         let mut w = Weights::equal(4, 0.05);
         assert!(w.set_with_ejections(&[100.0, 0.001, 50.0, 1.0], &[false, false, true, false]));

@@ -467,13 +467,28 @@ pub fn write_event(out: &mut String, ev: &JournalEvent) {
 }
 
 /// Flat per-line JSON value: the journal wire format only needs numbers,
-/// strings, null, and numeric arrays.
+/// strings, null, and numeric arrays. Numbers keep their raw lexeme so
+/// integer fields parse exactly — routing a u64 through f64 would
+/// silently round timestamps and deltas above 2^53.
 #[derive(Debug, Clone)]
 enum Val {
-    Num(f64),
+    Num(String),
     Str(String),
     Null,
-    Arr(Vec<f64>),
+    Arr(Vec<String>),
+}
+
+fn lex_u64(raw: &str) -> Result<u64, String> {
+    // Written u64s are plain digit runs; tolerate float-shaped tokens
+    // (e.g. from hand-edited captures) via the f64 path.
+    raw.parse::<u64>()
+        .or_else(|_| raw.parse::<f64>().map(|v| v as u64))
+        .map_err(|e| format!("bad integer {raw:?}: {e}"))
+}
+
+fn lex_f64(raw: &str) -> Result<f64, String> {
+    raw.parse::<f64>()
+        .map_err(|e| format!("bad number {raw:?}: {e}"))
 }
 
 struct Fields {
@@ -491,7 +506,7 @@ impl Fields {
 
     fn u64(&self, key: &str) -> Result<u64, String> {
         match self.get(key)? {
-            Val::Num(n) => Ok(*n as u64),
+            Val::Num(raw) => lex_u64(raw).map_err(|e| format!("field {key:?}: {e}")),
             v => Err(format!("field {key:?}: expected number, got {v:?}")),
         }
     }
@@ -502,7 +517,7 @@ impl Fields {
 
     fn f64(&self, key: &str) -> Result<f64, String> {
         match self.get(key)? {
-            Val::Num(n) => Ok(*n),
+            Val::Num(raw) => lex_f64(raw).map_err(|e| format!("field {key:?}: {e}")),
             v => Err(format!("field {key:?}: expected number, got {v:?}")),
         }
     }
@@ -516,19 +531,30 @@ impl Fields {
 
     fn f64_arr(&self, key: &str) -> Result<Vec<f64>, String> {
         match self.get(key)? {
-            Val::Arr(a) => Ok(a.clone()),
+            Val::Arr(a) => a
+                .iter()
+                .map(|raw| lex_f64(raw).map_err(|e| format!("field {key:?}: {e}")))
+                .collect(),
             v => Err(format!("field {key:?}: expected array, got {v:?}")),
         }
     }
 
     fn u64_arr(&self, key: &str) -> Result<Vec<u64>, String> {
-        Ok(self.f64_arr(key)?.iter().map(|&v| v as u64).collect())
+        match self.get(key)? {
+            Val::Arr(a) => a
+                .iter()
+                .map(|raw| lex_u64(raw).map_err(|e| format!("field {key:?}: {e}")))
+                .collect(),
+            v => Err(format!("field {key:?}: expected array, got {v:?}")),
+        }
     }
 
     fn opt_usize(&self, key: &str) -> Result<Option<usize>, String> {
         match self.get(key)? {
             Val::Null => Ok(None),
-            Val::Num(n) => Ok(Some(*n as usize)),
+            Val::Num(raw) => lex_u64(raw)
+                .map(|v| Some(v as usize))
+                .map_err(|e| format!("field {key:?}: {e}")),
             v => Err(format!("field {key:?}: expected number|null, got {v:?}")),
         }
     }
@@ -643,7 +669,7 @@ fn parse_val(bytes: &[u8], i: &mut usize) -> Result<Val, String> {
     }
 }
 
-fn parse_num(bytes: &[u8], i: &mut usize) -> Result<f64, String> {
+fn parse_num(bytes: &[u8], i: &mut usize) -> Result<String, String> {
     let start = *i;
     while bytes
         .get(*i)
@@ -653,8 +679,11 @@ fn parse_num(bytes: &[u8], i: &mut usize) -> Result<f64, String> {
     }
     let s = core::str::from_utf8(&bytes[start..*i])
         .map_err(|e| format!("invalid utf-8 in number: {e}"))?;
+    // Validate the shape here so malformed lines fail at the lexer with
+    // a byte offset; the typed accessors re-parse the raw lexeme.
     s.parse::<f64>()
-        .map_err(|e| format!("bad number {s:?} at byte {start}: {e}"))
+        .map_err(|e| format!("bad number {s:?} at byte {start}: {e}"))?;
+    Ok(s.to_string())
 }
 
 /// Parse one NDJSON line back into an event.
@@ -753,6 +782,32 @@ pub fn parse_ndjson(text: &str) -> Result<Vec<JournalEvent>, String> {
         out.push(parse_event(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
     }
     Ok(out)
+}
+
+/// Parse a full NDJSON document, tolerating a truncated *final* line.
+///
+/// A capture cut off mid-write (killed process, partial copy, `tail`
+/// of a growing file) ends in half a line; hard-failing the whole
+/// document over it would make every in-flight capture unreadable.
+/// This variant drops a malformed final non-blank line and reports the
+/// drop via the returned flag instead. Malformed lines anywhere *else*
+/// are still errors — interior corruption is not truncation, and
+/// silently skipping it would let analyses run on a journal with holes.
+pub fn parse_ndjson_lossy(text: &str) -> Result<(Vec<JournalEvent>, bool), String> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (pos, &(lineno, line)) in lines.iter().enumerate() {
+        match parse_event(line) {
+            Ok(ev) => out.push(ev),
+            Err(_) if pos + 1 == lines.len() => return Ok((out, true)),
+            Err(e) => return Err(format!("line {}: {e}", lineno + 1)),
+        }
+    }
+    Ok((out, false))
 }
 
 #[cfg(test)]
@@ -896,5 +951,28 @@ mod tests {
         assert!(parse_ndjson("not json").is_err());
         let err = parse_ndjson("{\"at\":1,\"ev\":\"no_backend\"}\nnope").unwrap_err();
         assert!(err.starts_with("line 2"), "{err}");
+    }
+
+    #[test]
+    fn lossy_parse_drops_only_a_truncated_tail() {
+        let good = "{\"at\":1,\"ev\":\"no_backend\"}";
+        // A half-written final line (truncated mid-capture) is dropped
+        // and flagged; the preceding events still parse.
+        let truncated = format!("{good}\n{{\"at\":2,\"ev\":\"no_bac");
+        let (evs, dropped) = parse_ndjson_lossy(&truncated).unwrap();
+        assert_eq!(evs, vec![JournalEvent::NoBackend { at: 1 }]);
+        assert!(dropped, "truncated tail must be flagged");
+        // A trailing blank line after the garbage does not shield it.
+        let (evs, dropped) = parse_ndjson_lossy(&format!("{truncated}\n\n")).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert!(dropped);
+        // Clean documents (including empty ones) report no drop.
+        let (evs, dropped) = parse_ndjson_lossy(&format!("{good}\n")).unwrap();
+        assert_eq!(evs.len(), 1);
+        assert!(!dropped);
+        assert_eq!(parse_ndjson_lossy("").unwrap(), (vec![], false));
+        // Interior corruption is still a hard error with its line number.
+        let err = parse_ndjson_lossy(&format!("nope\n{good}\n")).unwrap_err();
+        assert!(err.starts_with("line 1"), "{err}");
     }
 }

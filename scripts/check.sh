@@ -41,9 +41,17 @@ echo "==> tier-1 integration suites (release)"
 cargo test -q --release --test determinism --test dsr_invariants \
     --test health_ejection --test paper_claims \
     --test multilb_conformance --test multilb_invariants \
-    --test observability
+    --test observability --test fuzz_regressions
 cargo test -q -p lbcore --test proptests
 cargo test -q -p netsim --test ecmp_proptests
+
+# Scenario-fuzz smoke campaign: every seed in the smoke range runs the
+# full invariant suite (each seed twice, for the determinism check).
+# Gating — a violation here is a real bug, and the failing seed can be
+# shrunk locally with `scenariofuzz minimize --seed N`.
+echo "==> scenariofuzz smoke campaign (seeds 0..25)"
+cargo run -q --release -p bench --bin scenariofuzz -- run --seeds 0..25 \
+    --out target/bench/fuzz_smoke.json
 
 # Perf snapshot: quick variants of the pinned perfbench scenarios, plus
 # the fig3_kv_journal overhead point (journal recording on).

@@ -1,12 +1,13 @@
 //! The key-value server application (the simulated memcached pod).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netpkt::kv::{KvDecoder, KvMessage, KvOp, KvStatus};
 use netsim::rng::component_rng;
 use netsim::rng::SimRng;
 use netsim::Duration;
 use nettcp::{App, ConnId, HostIo};
+use telemetry::span::{pack_addr, HopKind};
 
 use crate::service::{DelaySchedule, InterferenceConfig, Nanos, ServiceDist, ServiceModel};
 
@@ -111,9 +112,9 @@ pub struct KvServerApp {
     cfg: KvServerConfig,
     model: ServiceModel,
     rng: SimRng,
-    store: HashMap<u64, u32>,
-    decoders: HashMap<ConnId, KvDecoder>,
-    pending: HashMap<u64, (ConnId, KvMessage)>,
+    store: BTreeMap<u64, u32>,
+    decoders: BTreeMap<ConnId, KvDecoder>,
+    pending: BTreeMap<u64, (ConnId, KvMessage)>,
     next_token: u64,
     /// Recent request residence times (queue + service), for reporting.
     residence: [Nanos; 16],
@@ -132,9 +133,9 @@ impl KvServerApp {
             cfg,
             model,
             rng,
-            store: HashMap::new(),
-            decoders: HashMap::new(),
-            pending: HashMap::new(),
+            store: BTreeMap::new(),
+            decoders: BTreeMap::new(),
+            pending: BTreeMap::new(),
             next_token: 1,
             residence: [0; 16],
             residence_len: 0,
@@ -183,7 +184,24 @@ impl KvServerApp {
                 KvMessage::response_to(&req, KvStatus::Ok, 0)
             }
         };
-        let done = self.model.admit(now, &mut self.rng);
+        let (start, done) = self.model.admit_timed(now, &mut self.rng);
+        if io.span_enabled() {
+            // Under DSR the connection's remote address is the client the
+            // dataplane saw, so this trace id matches the wire-derived one.
+            let (ip, port) = io.remote_addr(conn);
+            let trace = netpkt::trace_id(u32::from(ip), port, req.request_id);
+            let addr = pack_addr(u32::from(ip), port);
+            io.record_hop(now, trace, HopKind::BackendEnqueue, addr, req.request_id);
+            // Stamped at the admission-computed instant, not "now" — the
+            // gap between the two records is exactly the queueing delay.
+            io.record_hop(
+                start,
+                trace,
+                HopKind::BackendServiceStart,
+                addr,
+                req.request_id,
+            );
+        }
         self.residence[self.residence_pos] = done.saturating_sub(now);
         self.residence_pos = (self.residence_pos + 1) % self.residence.len();
         self.residence_len = (self.residence_len + 1).min(self.residence.len());
@@ -272,6 +290,13 @@ impl App for KvServerApp {
             }
         }
         if self.decoders.contains_key(&conn) {
+            if io.span_enabled() {
+                let (ip, port) = io.remote_addr(conn);
+                let trace = netpkt::trace_id(u32::from(ip), port, resp.request_id);
+                let addr = pack_addr(u32::from(ip), port);
+                let now = io.now().as_nanos();
+                io.record_hop(now, trace, HopKind::BackendRespond, addr, resp.request_id);
+            }
             io.send(conn, &resp.encode());
         } else {
             self.stats.orphaned += 1;
@@ -294,7 +319,7 @@ mod tests {
     /// once, pipelined) and records response latencies.
     struct ScriptClient {
         requests: Vec<KvMessage>,
-        issued_at: HashMap<u64, u64>,
+        issued_at: BTreeMap<u64, u64>,
         latencies: Vec<(u64, Nanos)>,
         decoder: KvDecoder,
         done: bool,
@@ -304,7 +329,7 @@ mod tests {
         fn new(requests: Vec<KvMessage>) -> Self {
             ScriptClient {
                 requests,
-                issued_at: HashMap::new(),
+                issued_at: BTreeMap::new(),
                 latencies: Vec::new(),
                 decoder: KvDecoder::new(),
                 done: false,

@@ -157,6 +157,12 @@ impl ServiceModel {
 
     /// Admits a request at `now`; returns its completion time.
     pub fn admit(&mut self, now: Nanos, rng: &mut SimRng) -> Nanos {
+        self.admit_timed(now, rng).1
+    }
+
+    /// [`ServiceModel::admit`] returning `(start, done)` — span tracing
+    /// needs the service-start instant to split queueing from service.
+    pub fn admit_timed(&mut self, now: Nanos, rng: &mut SimRng) -> (Nanos, Nanos) {
         let service = self.dist.sample(rng);
         let extra = self.schedule.extra_at(now);
         // Earliest-free worker.
@@ -169,7 +175,7 @@ impl ServiceModel {
         let start = now.max(free_at).max(self.pause_until);
         let done = start + service + extra;
         self.workers[w] = done;
-        done
+        (start, done)
     }
 
     /// Begins an interference pause of `len` at `now`: nothing new starts

@@ -3,13 +3,17 @@
 //! the latency-aware LB.
 //!
 //! Usage:
-//! `cargo run -p bench --release --bin fig3 [--full] [--seed N] [--csv] [--journal PATH]`
+//! `cargo run -p bench --release --bin fig3 [--full] [--seed N] [--csv]
+//!  [--journal PATH] [--spans PATH]`
 //!
 //! `--full` uses the paper's 200 s timeline (injection at t = 100 s);
 //! the default is a 60 s run with injection at t = 20 s. `--journal PATH`
 //! records the latency-aware LB's decision journal and writes it to
 //! `PATH` as NDJSON — feed it to the `lbtrace` binary to explain weight
-//! shifts and reproduce the reaction metric offline.
+//! shifts and reproduce the reaction metric offline. `--spans PATH`
+//! additionally records the causal span trace of every request in the
+//! latency-aware run — feed it to `lbtrace spans|critical-path`, or to
+//! `lbtrace error-budget` together with the journal.
 
 use experiments::fig3::{fig3_summary_table, fig3_table, run_fig3, Fig3Config};
 
@@ -27,19 +31,33 @@ fn main() {
     if journal_path.is_some() {
         cfg.journal = telemetry::JournalMode::Full(1 << 22);
     }
+    let spans_path = bench::arg_value(&args, "--spans");
+    if spans_path.is_some() {
+        cfg.span = telemetry::SpanMode::Full(1 << 24);
+    }
     let r = run_fig3(&cfg);
-    if let Some(path) = &journal_path {
+    let write_capture = |path: &String, text: &str, what: &str| {
         if let Some(dir) = std::path::Path::new(path).parent() {
             if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).expect("creating journal output directory");
+                std::fs::create_dir_all(dir)
+                    .unwrap_or_else(|e| panic!("creating {what} output directory: {e}"));
             }
         }
-        std::fs::write(path, &r.aware.journal).expect("writing journal");
-        eprintln!(
-            "wrote {} ({} events)",
-            path,
-            r.aware.journal.lines().count()
-        );
+        std::fs::write(path, text).unwrap_or_else(|e| panic!("writing {what}: {e}"));
+        eprintln!("wrote {} ({} {what} lines)", path, text.lines().count());
+    };
+    if let Some(path) = &journal_path {
+        write_capture(path, &r.aware.journal, "journal");
+    }
+    if let Some(path) = &spans_path {
+        write_capture(path, &r.aware.spans, "span");
+        if r.aware.spans_dropped > 0 {
+            eprintln!(
+                "note: span log filled mid-run ({} hop records dropped); \
+                 the capture covers only the run's first requests",
+                r.aware.spans_dropped
+            );
+        }
     }
     if bench::has_flag(&args, "--csv") {
         print!("{}", fig3_table(&r).to_csv());

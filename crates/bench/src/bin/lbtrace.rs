@@ -1,40 +1,45 @@
-//! `lbtrace`: query a decision-journal NDJSON capture.
+//! `lbtrace`: query decision-journal and span NDJSON captures.
 //!
-//! Capture a journal first, e.g.:
+//! Capture a journal and a span trace first, e.g.:
 //!
 //! ```text
-//! cargo run -p bench --release --bin fig3 -- --journal target/bench/fig3.ndjson
+//! cargo run -p bench --release --bin fig3 -- \
+//!     --journal target/bench/fig3.ndjson --spans target/bench/fig3.spans
 //! ```
 //!
-//! then query it:
+//! then query them:
 //!
 //! ```text
-//! lbtrace summary   FILE
-//! lbtrace samples   FILE --backend B [--limit N]
-//! lbtrace explain   FILE [--after NS]
-//! lbtrace ejections FILE
-//! lbtrace reaction  FILE --inject NS [--backend B]
+//! lbtrace summary       FILE [FILE...]        # multiple files = shards
+//! lbtrace samples       FILE --backend B [--limit N]
+//! lbtrace explain       FILE [--after NS]
+//! lbtrace ejections     FILE
+//! lbtrace reaction      FILE --inject NS [--backend B]
+//! lbtrace spans         SPANFILE [--trace T] [--limit N]
+//! lbtrace critical-path SPANFILE
+//! lbtrace error-budget  SPANFILE JOURNALFILE
 //! ```
 //!
 //! `reaction` reproduces the Fig. 3 reaction metric from the journal
 //! alone; `explain` walks a weight shift back to the epoch-δ decision
-//! and the T_LB samples that drove it.
+//! and the T_LB samples that drove it. The span commands work on a span
+//! capture: `spans` renders per-request hop trees, `critical-path`
+//! prints the aggregate six-segment decomposition, and `error-budget`
+//! joins journaled T_LB samples against span ground truth to attribute
+//! estimator error by segment.
 
-use bench::lbtrace::Trace;
+use bench::lbtrace::{summary_shards, Trace};
+use bench::spans::{critical_path_table, error_budget, error_budget_table, SpanCapture};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: lbtrace <summary|samples|explain|ejections|reaction> FILE \
-         [--backend B] [--after NS] [--inject NS] [--limit N]"
+        "usage: lbtrace <summary|samples|explain|ejections|reaction|spans|critical-path|error-budget> \
+         FILE [FILE...] [--backend B] [--after NS] [--inject NS] [--limit N] [--trace T]"
     );
     std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let (Some(cmd), Some(path)) = (args.get(1), args.get(2)) else {
-        usage();
-    };
+fn load_trace(path: &str) -> Trace {
     let trace = match Trace::load(path) {
         Ok(t) => t,
         Err(e) => {
@@ -45,6 +50,32 @@ fn main() {
     if trace.dropped_tail() {
         eprintln!("lbtrace: note: {path} ends in a truncated line (capture cut mid-write); it was ignored");
     }
+    trace
+}
+
+fn load_spans(path: &str) -> SpanCapture {
+    match SpanCapture::load(path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("lbtrace: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(cmd) = args.get(1) else {
+        usage();
+    };
+    // Positional FILE arguments: everything up to the first `--flag`.
+    let files: Vec<&String> = args[2..]
+        .iter()
+        .take_while(|a| !a.starts_with("--"))
+        .collect();
+    let Some(&path) = files.first() else {
+        usage();
+    };
     let num = |key: &str| -> Option<u64> {
         bench::arg_value(&args, key).map(|v| {
             v.parse().unwrap_or_else(|_| {
@@ -55,8 +86,17 @@ fn main() {
     };
 
     match cmd.as_str() {
-        "summary" => print!("{}", trace.summary()),
+        "summary" => {
+            if files.len() > 1 {
+                // One file per shard: the multi-LB per-shard view.
+                let shards: Vec<Trace> = files.iter().map(|p| load_trace(p)).collect();
+                print!("{}", summary_shards(&shards));
+            } else {
+                print!("{}", load_trace(path).summary());
+            }
+        }
         "samples" => {
+            let trace = load_trace(path);
             let backend = num("--backend").unwrap_or(0) as usize;
             let limit = num("--limit").unwrap_or(u64::MAX) as usize;
             let timeline = trace.sample_timeline(backend);
@@ -76,13 +116,13 @@ fn main() {
         }
         "explain" => {
             let after = num("--after").unwrap_or(0);
-            match trace.explain_shift(after) {
+            match load_trace(path).explain_shift(after) {
                 Some(ex) => print!("{}", ex.render()),
                 None => println!("no weight shift with a victim at or after t = {after} ns"),
             }
         }
         "ejections" => {
-            let lines = trace.ejection_storylines();
+            let lines = load_trace(path).ejection_storylines();
             if lines.is_empty() {
                 println!("no health transitions in the capture");
             }
@@ -91,6 +131,7 @@ fn main() {
             }
         }
         "reaction" => {
+            let trace = load_trace(path);
             let Some(inject) = num("--inject") else {
                 eprintln!("lbtrace: reaction needs --inject NS");
                 std::process::exit(2);
@@ -108,6 +149,43 @@ fn main() {
                     None => println!("backend {b}: never dropped below half traffic"),
                 }
             }
+        }
+        "spans" => {
+            let capture = load_spans(path);
+            match num("--trace") {
+                Some(t) => match capture.find(t) {
+                    Some(span) => print!("{}", capture.render_span(span)),
+                    None => {
+                        eprintln!("lbtrace: no span with trace id {t} in {path}");
+                        std::process::exit(1);
+                    }
+                },
+                None => {
+                    let limit = num("--limit").unwrap_or(10) as usize;
+                    println!(
+                        "{} span(s) captured, showing first {}",
+                        capture.spans().len(),
+                        limit.min(capture.spans().len())
+                    );
+                    for span in capture.spans().iter().take(limit) {
+                        print!("{}", capture.render_span(span));
+                    }
+                }
+            }
+        }
+        "critical-path" => {
+            let capture = load_spans(path);
+            critical_path_table(&capture.critical_paths()).print();
+        }
+        "error-budget" => {
+            let Some(&journal_path) = files.get(1) else {
+                eprintln!("lbtrace: error-budget needs SPANFILE JOURNALFILE");
+                std::process::exit(2);
+            };
+            let capture = load_spans(path);
+            let journal = load_trace(journal_path);
+            let budget = error_budget(&capture.critical_paths(), journal.events());
+            error_budget_table(&budget).print();
         }
         _ => usage(),
     }

@@ -7,13 +7,18 @@
 //! ```text
 //! cargo run --release -p bench --bin perfbench -- \
 //!     [--quick] [--scenario NAME] [--seed N] [--out PATH] [--journal]
+//!     [--spans]
 //! ```
 //!
 //! `--quick` runs the short CI variants; the default (full) variants are
 //! the pinned trajectory points. `--journal` appends the
 //! `fig3_kv_journal` overhead scenario (fig3_kv with the decision
-//! journal recording) to the report — it is not part of the pinned
-//! trajectory. Build with `--features bench-alloc` to include
+//! journal recording) to the report, and `--spans` appends
+//! `fig3_kv_spans` (fig3_kv with Full causal span tracing) — neither is
+//! part of the pinned trajectory; compare them against `fig3_kv` to see
+//! the observability overhead. With both recorders Off (the default in
+//! every pinned scenario) the only residual cost is one branch per
+//! would-be hop record. Build with `--features bench-alloc` to include
 //! allocation counts (counting global allocator). Output defaults to
 //! `target/bench/BENCH_perf.json`.
 
@@ -39,14 +44,17 @@ fn main() {
     } else {
         harness::run_all(quick, seed)
     };
-    if bench::has_flag(&args, "--journal")
-        && !report.scenarios.iter().any(|s| s.name.contains("journal"))
-    {
-        match harness::run_scenario("fig3_kv_journal", quick, seed) {
-            Ok(r) => report.scenarios.push(r),
-            Err(e) => {
-                eprintln!("perfbench: {e}");
-                std::process::exit(2);
+    for (flag, scenario) in [
+        ("--journal", "fig3_kv_journal"),
+        ("--spans", "fig3_kv_spans"),
+    ] {
+        if bench::has_flag(&args, flag) && !report.scenarios.iter().any(|s| s.name == scenario) {
+            match harness::run_scenario(scenario, quick, seed) {
+                Ok(r) => report.scenarios.push(r),
+                Err(e) => {
+                    eprintln!("perfbench: {e}");
+                    std::process::exit(2);
+                }
             }
         }
     }

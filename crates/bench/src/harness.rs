@@ -184,11 +184,14 @@ pub fn run_scenario(name: &str, quick: bool, seed: u64) -> Result<ScenarioResult
     let (sim_ms, stats) = match name {
         "netsim_churn" => run_churn(if quick { 50 } else { 1000 }, seed),
         "nettcp_bulk" => run_bulk(if quick { 150 } else { 2000 }, seed),
-        "fig3_kv" => run_fig3_kv(if quick { 400 } else { 3000 }, seed, false),
-        // Same workload with the decision journal recording — not in
-        // [`SCENARIOS`] (the pinned trajectory), but runnable by name so
-        // CI can report observability overhead side by side.
-        "fig3_kv_journal" => run_fig3_kv(if quick { 400 } else { 3000 }, seed, true),
+        "fig3_kv" => run_fig3_kv(if quick { 400 } else { 3000 }, seed, false, false),
+        // Same workload with the decision journal / span tracer
+        // recording — not in [`SCENARIOS`] (the pinned trajectory), but
+        // runnable by name so CI can report observability overhead side
+        // by side. With both Off (the pinned `fig3_kv`), the only cost
+        // is one branch per would-be hop.
+        "fig3_kv_journal" => run_fig3_kv(if quick { 400 } else { 3000 }, seed, true, false),
+        "fig3_kv_spans" => run_fig3_kv(if quick { 400 } else { 3000 }, seed, false, true),
         "chaos" => run_chaos(quick, seed),
         "multilb" => run_multilb_bench(if quick { 400 } else { 3000 }, seed),
         other => return Err(format!("unknown scenario '{other}'; known: {SCENARIOS:?}")),
@@ -317,7 +320,7 @@ fn run_bulk(sim_ms: u64, seed: u64) -> (u64, SimStats) {
 /// The Fig. 3 two-backend KV workload under the latency-aware LB, with
 /// the 1 ms delay injected at the midpoint — the end-to-end macro path
 /// (clients, TCP, LB measurement + control, backends).
-fn run_fig3_kv(sim_ms: u64, seed: u64, journal: bool) -> (u64, SimStats) {
+fn run_fig3_kv(sim_ms: u64, seed: u64, journal: bool, spans: bool) -> (u64, SimStats) {
     let lb_factory: Box<dyn FnOnce(Vec<Ipv4Addr>) -> LbConfig> = Box::new(move |backends| {
         let mut c = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
         if journal {
@@ -328,6 +331,9 @@ fn run_fig3_kv(sim_ms: u64, seed: u64, journal: bool) -> (u64, SimStats) {
     let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
     cfg.seed = seed;
     let mut cluster = KvCluster::build(cfg);
+    if spans {
+        cluster.sim.enable_spans(telemetry::SpanMode::Full(1 << 22));
+    }
     cluster.inject_backend_delay(
         0,
         Time::ZERO + Duration::from_millis(sim_ms / 2),
@@ -379,6 +385,7 @@ fn run_multilb_bench(sim_ms: u64, seed: u64) -> (u64, SimStats) {
         extra: Duration::from_millis(1),
         bin: Duration::from_millis(sim_ms / 8),
         gossip: Some(GossipParams::default()),
+        journal: telemetry::JournalMode::Off,
         seed,
     };
     let mut cluster = build_multilb_cluster(&cfg);

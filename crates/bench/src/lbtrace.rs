@@ -242,6 +242,20 @@ impl Trace {
         out
     }
 
+    /// Count of events of one kind (see [`JournalEvent::kind`]).
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind() == kind).count()
+    }
+
+    /// Count of health transitions *into* the ejected state — the
+    /// shard's ejection count.
+    pub fn count_ejections(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, JournalEvent::HealthTransition { to, .. } if *to == "ejected"))
+            .count()
+    }
+
     /// Event counts by kind plus the covered time span — the capture at
     /// a glance.
     pub fn summary(&self) -> String {
@@ -269,13 +283,40 @@ impl Trace {
         out.push_str(&span);
         out.push('\n');
         for kind in KINDS {
-            let n = self.events.iter().filter(|e| e.kind() == *kind).count();
+            let n = self.count_kind(kind);
             if n > 0 {
                 out.push_str(&format!("  {kind:<16} {n}\n"));
             }
         }
         out
     }
+}
+
+/// Per-shard summary of a multi-LB capture (one [`Trace`] per shard):
+/// each shard's sample / weight-update / ejection counts side by side,
+/// plus the tier totals — the shard-skew view a merged summary hides.
+pub fn summary_shards(shards: &[Trace]) -> String {
+    let mut out = String::new();
+    let mut totals = (0usize, 0usize, 0usize, 0usize);
+    for (i, t) in shards.iter().enumerate() {
+        let samples = t.count_kind("sample");
+        let updates = t.count_kind("weight_update");
+        let ejections = t.count_ejections();
+        let events = t.events().len();
+        out.push_str(&format!(
+            "shard {i}: {events:>6} event(s)  samples {samples:>6}  \
+             weight_updates {updates:>5}  ejections {ejections:>3}\n"
+        ));
+        totals.0 += events;
+        totals.1 += samples;
+        totals.2 += updates;
+        totals.3 += ejections;
+    }
+    out.push_str(&format!(
+        "tier:    {:>6} event(s)  samples {:>6}  weight_updates {:>5}  ejections {:>3}\n",
+        totals.0, totals.1, totals.2, totals.3
+    ));
+    out
 }
 
 impl ShiftExplanation {
@@ -507,5 +548,39 @@ mod tests {
         assert_eq!(lines[0].transitions.len(), 2);
         assert_eq!(lines[0].repins.len(), 1);
         assert!(lines[0].render().contains("silence"));
+    }
+
+    #[test]
+    fn summary_shards_counts_per_shard_and_totals() {
+        let mut j = Journal::new(JournalMode::Full(64));
+        j.push(JournalEvent::HealthTransition {
+            at: 5,
+            backend: 1,
+            from: "healthy",
+            to: "ejected",
+            trigger: "silence",
+        });
+        let shards = vec![synthetic(), Trace::parse(&j.to_ndjson()).unwrap()];
+        let s = summary_shards(&shards);
+        // Shard 0 is the synthetic journal: 6 events, 2 samples, 3
+        // weight updates, no ejections; shard 1 has the one ejection.
+        assert!(
+            s.contains(
+                "shard 0:      6 event(s)  samples      2  weight_updates     3  ejections   0"
+            ),
+            "{s}"
+        );
+        assert!(
+            s.contains(
+                "shard 1:      1 event(s)  samples      0  weight_updates     0  ejections   1"
+            ),
+            "{s}"
+        );
+        assert!(
+            s.contains(
+                "tier:         7 event(s)  samples      2  weight_updates     3  ejections   1"
+            ),
+            "{s}"
+        );
     }
 }

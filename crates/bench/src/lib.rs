@@ -30,6 +30,7 @@
 
 pub mod harness;
 pub mod lbtrace;
+pub mod spans;
 
 /// Parses `--seed N` style overrides shared by the binaries.
 pub fn arg_value(args: &[String], key: &str) -> Option<String> {

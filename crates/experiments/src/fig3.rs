@@ -5,7 +5,7 @@
 use lb_dataplane::LbConfig;
 use lbcore::AlphaShift;
 use netsim::{Duration, Time};
-use telemetry::{JournalMode, Table};
+use telemetry::{JournalMode, SpanMode, Table};
 
 use crate::topology::{KvCluster, KvClusterConfig, VIP};
 
@@ -28,6 +28,9 @@ pub struct Fig3Config {
     /// Decision-journal mode for the latency-aware LB (`Off` by default;
     /// journaling never perturbs the packet schedule, only records it).
     pub journal: JournalMode,
+    /// Causal span-tracing mode (`Off` by default; like the journal,
+    /// tracing records the schedule without perturbing it).
+    pub span: SpanMode,
 }
 
 impl Default for Fig3Config {
@@ -39,6 +42,7 @@ impl Default for Fig3Config {
             bin: Duration::from_secs(1),
             seed: 42,
             journal: JournalMode::Off,
+            span: SpanMode::Off,
         }
     }
 }
@@ -83,6 +87,12 @@ pub struct Fig3Run {
     /// The LB's decision journal as NDJSON (empty unless
     /// [`Fig3Config::journal`] is enabled).
     pub journal: String,
+    /// The run's span records as NDJSON, canonically sorted (empty unless
+    /// [`Fig3Config::span`] is enabled).
+    pub spans: String,
+    /// Hop records the span log rejected after its capacity filled — a
+    /// non-zero value means `spans` covers only a prefix of the run.
+    pub spans_dropped: u64,
 }
 
 /// The full Fig. 3 result: baseline vs. latency-aware.
@@ -112,10 +122,17 @@ fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
         c.recorder_bin = cfg.bin;
     }
     let mut cluster = KvCluster::build(cluster_cfg);
+    cluster.sim.enable_spans(cfg.span);
     let inject_at = Time::ZERO + cfg.inject_at;
     cluster.inject_backend_delay(0, inject_at, cfg.extra);
     cluster.sim.run_for(cfg.duration);
 
+    let spans_dropped = cluster.sim.spans().dropped();
+    let spans = {
+        let mut recs = cluster.sim.take_span_records();
+        telemetry::span::sort_records(&mut recs);
+        telemetry::span::to_ndjson(&recs)
+    };
     let recorder = &cluster.client_app(0).recorder;
     let p95_series = recorder.get_series.quantile_series(0.95);
     let inject_ns = inject_at.as_nanos();
@@ -159,6 +176,8 @@ fn run_variant(cfg: &Fig3Config, latency_aware: bool) -> Fig3Run {
         first_reaction,
         lb_samples: lb.stats().samples,
         journal: lb.journal().to_ndjson(),
+        spans,
+        spans_dropped,
     }
 }
 

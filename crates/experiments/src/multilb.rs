@@ -28,7 +28,7 @@
 use lb_dataplane::{LbConfig, LbNode};
 use lbcore::AlphaShift;
 use netsim::{Duration, Time};
-use telemetry::{ScalarSeries, Table};
+use telemetry::{JournalMode, ScalarSeries, Table};
 
 use crate::topology::{KvCluster, KvClusterConfig, VIP};
 
@@ -68,6 +68,10 @@ pub struct MultiLbConfig {
     pub bin: Duration,
     /// `None` = isolated feedback; `Some` = periodic weight gossip.
     pub gossip: Option<GossipParams>,
+    /// Decision-journal mode applied to *every* shard (`Off` by
+    /// default). Each LB journals independently; per-shard captures are
+    /// returned in [`MultiLbRun::journals`].
+    pub journal: JournalMode,
     /// Root seed.
     pub seed: u64,
 }
@@ -81,6 +85,7 @@ impl Default for MultiLbConfig {
             extra: Duration::from_millis(1),
             bin: Duration::from_secs(1),
             gossip: None,
+            journal: JournalMode::Off,
             seed: 42,
         }
     }
@@ -128,6 +133,9 @@ pub struct MultiLbRun {
     pub lb_samples: u64,
     /// Gossip merges that moved weights, summed over the tier.
     pub gossip_merges: u64,
+    /// Per-shard decision journals as NDJSON (empty strings unless
+    /// [`MultiLbConfig::journal`] is enabled).
+    pub journals: Vec<String>,
 }
 
 /// Builds the cluster: the fig3 topology with `n_lbs` latency-aware LB
@@ -135,8 +143,13 @@ pub struct MultiLbRun {
 /// LB's forwarding link to backend 0.
 pub fn build_multilb_cluster(cfg: &MultiLbConfig) -> KvCluster {
     assert!(cfg.n_lbs >= 1, "tier needs at least one LB");
-    let factory = || -> Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> {
-        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())))
+    let journal = cfg.journal;
+    let factory = move || -> Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> {
+        Box::new(move |backends| {
+            let mut c = LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped()));
+            c.journal = journal;
+            c
+        })
     };
     let mut cluster_cfg = KvClusterConfig::fig3_defaults(factory());
     for _ in 1..cfg.n_lbs {
@@ -289,6 +302,7 @@ pub fn run_multilb(cfg: &MultiLbConfig) -> MultiLbRun {
     let final_degraded_weight: Vec<f64> = nodes.iter().map(|n| n.weights().get(0)).collect();
     let gossip_merges: u64 = nodes.iter().map(|n| n.stats().gossip_merges).sum();
     let lb_samples: u64 = per_lb_samples.iter().sum();
+    let journals: Vec<String> = nodes.iter().map(|n| n.journal().to_ndjson()).collect();
 
     MultiLbRun {
         n_lbs: cfg.n_lbs,
@@ -303,6 +317,7 @@ pub fn run_multilb(cfg: &MultiLbConfig) -> MultiLbRun {
         final_degraded_weight,
         lb_samples,
         gossip_merges,
+        journals,
     }
 }
 

@@ -4,6 +4,7 @@ use std::net::Ipv4Addr;
 
 use netpkt::{FlowKey, MacAddr, Packet, TcpFlags};
 use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
+use telemetry::span::{pack_addr, HopKind};
 use telemetry::{Journal, JournalEvent, JournalMode, MetricsRegistry, ScalarSeries, WeightCause};
 
 use lbcore::{
@@ -552,13 +553,26 @@ impl LbNode {
             ctx.pool().recycle(pkt);
             return;
         }
+        // Span hop: the LB parsed a traced frame's flow (recorded even
+        // for frames that die below, so drops stay attributable).
+        ctx.record_hop(
+            pkt.span(),
+            HopKind::LbDeliver,
+            pack_addr(u32::from(key.src_ip), key.src_port),
+            pkt.wire_len() as u64,
+        );
         if self.no_backend {
             // Every backend ejected: any forwarding choice is a dead pin.
             self.metrics.inc(m::NO_BACKEND_DROPS);
             self.metrics.inc(m::DROPPED);
             if self.flight_dump.is_none() && self.journal.enabled() {
-                // Flight recorder: dump the causal history leading into
-                // the first dropped packet.
+                // Flight recorder: journal the triggering drop itself,
+                // then dump the causal history leading into it — even a
+                // Ring whose state-entry event has been evicted must
+                // still show what fired the dump.
+                self.journal.push(JournalEvent::NoBackend {
+                    at: ctx.now().as_nanos(),
+                });
                 self.flight_dump = Some(self.journal.to_ndjson());
             }
             ctx.pool().recycle(pkt);
@@ -663,6 +677,12 @@ impl LbNode {
                     }
                 }
             }
+            ctx.record_hop(
+                pkt.span(),
+                HopKind::LbFlowTable,
+                pack_addr(u32::from(key.src_ip), key.src_port),
+                backend as u64,
+            );
             backend
         } else if flags.is_syn_only() {
             let backend = self.pick_backend(key.stable_hash(), now_ns);
@@ -673,7 +693,14 @@ impl LbNode {
         } else {
             // No entry and not a connection start: forward statelessly.
             self.metrics.inc(m::FALLBACK_FORWARDS);
-            self.table.lookup(key.stable_hash())
+            let backend = self.table.lookup(key.stable_hash());
+            ctx.record_hop(
+                pkt.span(),
+                HopKind::LbPick,
+                pack_addr(u32::from(key.src_ip), key.src_port),
+                backend as u64,
+            );
+            backend
         };
 
         if fin_or_rst {
@@ -684,6 +711,12 @@ impl LbNode {
         let fwd = pkt.with_macs_pooled(self.mac, self.backend_mac(backend), ctx.pool());
         self.metrics.inc(m::FORWARDED);
         self.fwd_per_backend[backend] += 1;
+        ctx.record_hop(
+            fwd.span(),
+            HopKind::LbForward,
+            backend as u64,
+            fwd.wire_len() as u64,
+        );
         ctx.send(self.backend_links[backend], fwd);
         // The consumed rx buffer feeds the next forward's pooled copy.
         ctx.pool().recycle(pkt);
@@ -1358,6 +1391,46 @@ mod tests {
         let dump = lb_node.flight_dump().expect("flight dump captured");
         let parsed = telemetry::journal::parse_ndjson(dump).unwrap();
         assert!(!parsed.is_empty(), "dump carries the causal history");
+        // The dump's final event is the drop that fired it — the
+        // trigger is journaled before the ring is snapshotted, so it
+        // can never be evicted out of its own dump.
+        let last = parsed.last().unwrap();
+        assert_eq!(last.kind(), "no_backend", "dump ends with the trigger");
+        assert!(
+            parsed.iter().all(|e| e.at() <= last.at()),
+            "trigger is the newest event in the dump"
+        );
+    }
+
+    #[test]
+    fn flight_dump_trigger_survives_a_tiny_ring() {
+        // Ring(1) is the worst case: every prior event has been evicted
+        // by the time the dump fires. The dump must still contain the
+        // triggering no_backend event itself.
+        let mut cfg = LbConfig::baseline(VIP, backends());
+        cfg.journal = JournalMode::Ring(1);
+        let script = vec![
+            (
+                Duration::from_micros(10),
+                client_pkt(4000, TcpFlags::SYN, 1),
+            ),
+            (Duration::from_millis(5), client_pkt(4000, TcpFlags::ACK, 2)),
+        ];
+        let (mut sim, lb, _sinks) = rig(cfg, script);
+        sim.run_for(Duration::from_millis(2));
+        sim.node_mut::<LbNode>(lb).unwrap().no_backend = true;
+        sim.run_for(Duration::from_millis(10));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        let dump = lb_node.flight_dump().expect("flight dump captured");
+        let parsed = telemetry::journal::parse_ndjson(dump).unwrap();
+        assert_eq!(parsed.len(), 1, "Ring(1) retains exactly the trigger");
+        assert_eq!(parsed[0].kind(), "no_backend");
+        // A later drop must not overwrite the first capture.
+        let first_at = parsed[0].at();
+        sim.run_for(Duration::from_millis(5));
+        let lb_node = sim.node_ref::<LbNode>(lb).unwrap();
+        let again = telemetry::journal::parse_ndjson(lb_node.flight_dump().unwrap()).unwrap();
+        assert_eq!(again[0].at(), first_at, "first dump is retained");
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod kv;
 pub mod oob;
 pub mod packet;
 pub mod pool;
+pub mod span;
 pub mod tcp;
 pub mod udp;
 
@@ -34,6 +35,7 @@ pub use flow::FlowKey;
 pub use ipv4::{Ipv4Header, IPPROTO_TCP, IPV4_HEADER_LEN};
 pub use packet::{Addresses, Packet, PacketView, PacketViewRef};
 pub use pool::{BufferPool, PoolStats};
+pub use span::{frame_trace_id, trace_id};
 pub use tcp::{TcpFlags, TcpHeader, TCP_HEADER_LEN};
 pub use udp::{UdpHeader, IPPROTO_UDP, UDP_HEADER_LEN};
 

@@ -33,12 +33,30 @@ pub struct Addresses {
 pub struct Packet {
     /// The serialized frame.
     pub data: Bytes,
+    /// Span-tracing sidecar: the trace id of the request this frame
+    /// carries, or 0 when untraced. Metadata only — never serialized,
+    /// never checksummed, invisible to [`Self::wire_len`] and the trace
+    /// hash — so stamping it cannot perturb the packet schedule.
+    span: u64,
 }
 
 impl Packet {
     /// Wraps raw frame bytes.
     pub fn from_bytes(data: Bytes) -> Self {
-        Packet { data }
+        Packet { data, span: 0 }
+    }
+
+    /// The span-tracing sidecar trace id (0 = untraced).
+    #[inline]
+    pub fn span(&self) -> u64 {
+        self.span
+    }
+
+    /// Stamps the span-tracing sidecar. Sidecar metadata only: wire
+    /// bytes, checksums, and timing are unaffected.
+    #[inline]
+    pub fn set_span(&mut self, trace: u64) {
+        self.span = trace;
     }
 
     /// Total frame length in bytes (what occupies link capacity).
@@ -138,6 +156,7 @@ impl Packet {
         tcp::fill_checksum(&mut bytes, tcp_start, &ip);
         Packet {
             data: bytes.freeze(),
+            span: 0,
         }
     }
 
@@ -152,6 +171,7 @@ impl Packet {
         bytes[6..12].copy_from_slice(&src_mac.0);
         Packet {
             data: bytes.freeze(),
+            span: self.span,
         }
     }
 
@@ -170,6 +190,7 @@ impl Packet {
         bytes[6..12].copy_from_slice(&src_mac.0);
         Packet {
             data: bytes.freeze(),
+            span: self.span,
         }
     }
 
@@ -204,6 +225,7 @@ impl Packet {
         }
         Packet {
             data: bytes.freeze(),
+            span: self.span,
         }
     }
 }

@@ -4,6 +4,7 @@ use std::any::Any;
 
 use netpkt::pool::BufferPool;
 use netpkt::Packet;
+use telemetry::span::{drop_reason, impair_kind, HopKind, HopRecord, SpanLog};
 
 use crate::event::{EventHandle, EventKind, EventQueue};
 use crate::link::{Link, LinkId, TxOutcome};
@@ -57,6 +58,7 @@ pub struct Ctx<'a> {
     pub(crate) queue: &'a mut EventQueue,
     pub(crate) links: &'a mut [Link],
     pub(crate) trace: &'a mut Trace,
+    pub(crate) spans: &'a mut SpanLog,
     pub(crate) pool: &'a mut BufferPool,
 }
 
@@ -79,6 +81,74 @@ impl Ctx<'_> {
         self.pool
     }
 
+    /// The simulation's shared span log (see
+    /// [`crate::Simulation::enable_spans`]). Nodes gate their hop
+    /// construction on [`SpanLog::enabled`] / [`SpanLog::accepts`].
+    pub fn spans(&mut self) -> &mut SpanLog {
+        self.spans
+    }
+
+    /// Cheap hot-path gate: is span tracing enabled at all?
+    #[inline]
+    pub fn spans_enabled(&self) -> bool {
+        self.spans.enabled()
+    }
+
+    /// Records a span hop at this node at the current instant. No-op
+    /// when tracing is off or the mode rejects `trace` — recording
+    /// never schedules events or draws randomness, so enabling it
+    /// cannot perturb the packet schedule.
+    #[inline]
+    pub fn record_hop(&mut self, trace: u64, kind: HopKind, a: u64, b: u64) {
+        if !self.spans.accepts(trace) {
+            return;
+        }
+        self.spans.record(HopRecord {
+            at: self.now.as_nanos(),
+            trace,
+            kind,
+            node: self.node.0,
+            a,
+            b,
+        });
+    }
+
+    /// [`Ctx::record_hop`] at an explicit instant — for hops whose
+    /// causal time is not "now" (e.g. a backend service start computed
+    /// at admission).
+    #[inline]
+    pub fn record_hop_at(&mut self, at: u64, trace: u64, kind: HopKind, a: u64, b: u64) {
+        if !self.spans.accepts(trace) {
+            return;
+        }
+        self.spans.record(HopRecord {
+            at,
+            trace,
+            kind,
+            node: self.node.0,
+            a,
+            b,
+        });
+    }
+
+    /// Records a link-layer hop for a traced frame (shared by the send
+    /// path and the simulation's delivery dispatch).
+    #[inline]
+    pub(crate) fn record_link_hop(&mut self, pkt: &Packet, kind: HopKind, link: LinkId, b: u64) {
+        let trace = pkt.span();
+        if !self.spans.accepts(trace) {
+            return;
+        }
+        self.spans.record(HopRecord {
+            at: self.now.as_nanos(),
+            trace,
+            kind,
+            node: self.node.0,
+            a: u64::from(link.0),
+            b,
+        });
+    }
+
     /// Transmits `pkt` on `link`. The packet is delivered to the peer after
     /// serialization + propagation, or silently dropped if the link's
     /// transmit queue is full (drop counters are kept per link direction).
@@ -93,6 +163,7 @@ impl Ctx<'_> {
         if self.node_down {
             self.trace
                 .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+            self.record_link_hop(&pkt, HopKind::LinkDrop, link, drop_reason::NODE_DOWN);
             self.pool.recycle(pkt);
             return;
         }
@@ -112,6 +183,7 @@ impl Ctx<'_> {
                         dir.stats.packets_corrupted += 1;
                         self.trace
                             .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+                        self.record_link_hop(&pkt, HopKind::LinkDrop, link, drop_reason::CORRUPT);
                         self.pool.recycle(pkt);
                         return;
                     }
@@ -123,7 +195,11 @@ impl Ctx<'_> {
                         let span = imp.cfg.reorder_window.as_nanos().max(1);
                         deliver_at = at + Duration::from_nanos(imp.rng.gen_range(1..=span));
                         dir.stats.packets_reordered += 1;
+                        self.record_link_hop(&pkt, HopKind::LinkImpair, link, impair_kind::REORDER);
                     }
+                }
+                if duplicate {
+                    self.record_link_hop(&pkt, HopKind::LinkImpair, link, impair_kind::DUPLICATE);
                 }
                 self.trace
                     .record(self.now, self.node, TraceKind::Send, link, &pkt);
@@ -149,6 +225,7 @@ impl Ctx<'_> {
             TxOutcome::Dropped => {
                 self.trace
                     .record(self.now, self.node, TraceKind::Drop, link, &pkt);
+                self.record_link_hop(&pkt, HopKind::LinkDrop, link, drop_reason::LINK);
                 self.pool.recycle(pkt);
             }
         }

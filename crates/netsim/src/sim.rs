@@ -3,6 +3,7 @@
 use std::any::Any;
 
 use netpkt::pool::BufferPool;
+use telemetry::span::{drop_reason, HopKind, HopRecord, SpanLog, SpanMode};
 
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{ImpairmentConfig, LinkImpairment};
@@ -34,6 +35,9 @@ pub struct Simulation {
     node_down: Vec<bool>,
     links: Vec<Link>,
     trace: Trace,
+    /// Causal span hop records from every layer (see
+    /// [`Simulation::enable_spans`]); off by default.
+    spans: SpanLog,
     /// Shared packet-buffer pool: per-hop copies draw from here and
     /// consumed packets are recycled back, via [`Ctx::pool`].
     pool: BufferPool,
@@ -60,6 +64,7 @@ impl Simulation {
             node_down: Vec::new(),
             links: Vec::new(),
             trace: Trace::new(),
+            spans: SpanLog::off(),
             pool: BufferPool::default(),
             stats: SimStats::default(),
             started: false,
@@ -133,6 +138,26 @@ impl Simulation {
     /// be exported as a pcap capture via [`Trace::write_pcap`].
     pub fn enable_trace_with_bytes(&mut self, capacity: usize) {
         self.trace.enable_with_bytes(capacity);
+    }
+
+    /// Enables causal span tracing in the given mode. Every layer
+    /// (links, TCP hosts, LBs, backends, clients) records its hops into
+    /// this one log through [`Ctx`], so records carry real node ids and
+    /// one harvest sees the whole causal path. Recording is pure
+    /// observation: no events, timers, or RNG draws — the packet
+    /// schedule is byte-identical whether tracing is off or on.
+    pub fn enable_spans(&mut self, mode: SpanMode) {
+        self.spans = SpanLog::new(mode);
+    }
+
+    /// Access to the span hop log.
+    pub fn spans(&self) -> &SpanLog {
+        &self.spans
+    }
+
+    /// Drains the span hop log (harvest helper).
+    pub fn take_span_records(&mut self) -> Vec<HopRecord> {
+        self.spans.take()
     }
 
     /// Immutable access to a link (for stats assertions).
@@ -255,6 +280,7 @@ impl Simulation {
             queue: &mut self.queue,
             links: &mut self.links,
             trace: &mut self.trace,
+            spans: &mut self.spans,
             pool: &mut self.pool,
         };
         f(node.as_mut(), &mut ctx);
@@ -289,12 +315,32 @@ impl Simulation {
                         // The receiver is crashed: the frame dies at its NIC.
                         self.trace
                             .record(self.now, node, TraceKind::Drop, link, &pkt);
+                        if self.spans.accepts(pkt.span()) {
+                            self.spans.record(HopRecord {
+                                at: self.now.as_nanos(),
+                                trace: pkt.span(),
+                                kind: HopKind::LinkDrop,
+                                node: node.0,
+                                a: u64::from(link.0),
+                                b: drop_reason::RECEIVER_DOWN,
+                            });
+                        }
                         self.pool.recycle(pkt);
                         continue;
                     }
                     self.stats.packets_delivered += 1;
                     self.trace
                         .record(self.now, node, TraceKind::Deliver, link, &pkt);
+                    if self.spans.accepts(pkt.span()) {
+                        self.spans.record(HopRecord {
+                            at: self.now.as_nanos(),
+                            trace: pkt.span(),
+                            kind: HopKind::LinkDeliver,
+                            node: node.0,
+                            a: u64::from(link.0),
+                            b: pkt.wire_len() as u64,
+                        });
+                    }
                     self.with_node(node, |n, ctx| n.on_packet(ctx, link, pkt));
                 }
                 EventKind::Timer { node, token } => {

@@ -55,6 +55,21 @@ pub trait HostIo {
 
     /// The remote address of a connection.
     fn remote_addr(&self, conn: ConnId) -> (Ipv4Addr, u16);
+
+    /// True when causal span tracing is enabled on this host's
+    /// simulation — applications gate hop construction on this.
+    /// Defaults to off so test doubles need no tracing plumbing.
+    fn span_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records a causal span hop at this host's node at sim time `at`
+    /// (usually [`HostIo::now`], but a backend stamps its service start
+    /// at the admission-computed instant). No-op by default and when
+    /// tracing is off or the mode rejects `trace`.
+    fn record_hop(&mut self, at: u64, trace: u64, kind: telemetry::span::HopKind, a: u64, b: u64) {
+        let _ = (at, trace, kind, a, b);
+    }
 }
 
 /// Application logic hosted on a [`crate::host::Host`].

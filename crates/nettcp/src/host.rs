@@ -14,6 +14,7 @@ use std::net::Ipv4Addr;
 use netpkt::{FlowKey, MacAddr, Packet, TcpHeader};
 use netsim::rng::SimRng;
 use netsim::{Ctx, Duration, LinkId, Node, Time, TimerToken};
+use telemetry::span::HopKind;
 
 use crate::app::{App, ConnId, HostIo};
 use crate::config::TcpConfig;
@@ -95,6 +96,12 @@ pub struct Host {
     conns: Vec<Option<Conn>>,
     /// Generation of the armed timer per (conn, kind); 0 = disarmed.
     armed: Vec<[u32; 3]>,
+    /// Span tracing: last attributable trace id per connection,
+    /// `[outbound, inbound]` — attributes RTOs (to the request whose
+    /// segment is outstanding) and reassembly completions (to the
+    /// request whose bytes were delivered). Only maintained while the
+    /// simulation's span tracing is enabled.
+    conn_traces: Vec<[u64; 2]>,
     by_flow: BTreeMap<FlowKey, usize>,
     /// Local ports of live client connections (ephemeral-port recycling).
     ports_in_use: BTreeSet<u16>,
@@ -129,6 +136,7 @@ impl Host {
             uplink,
             conns: Vec::new(),
             armed: Vec::new(),
+            conn_traces: Vec::new(),
             by_flow: BTreeMap::new(),
             ports_in_use: BTreeSet::new(),
             listeners: BTreeSet::new(),
@@ -174,10 +182,12 @@ impl Host {
         if let Some(idx) = self.conns.iter().position(|c| c.is_none()) {
             self.conns[idx] = Some(conn);
             self.armed[idx] = [0; 3];
+            self.conn_traces[idx] = [0; 2];
             idx
         } else {
             self.conns.push(Some(conn));
             self.armed.push([0; 3]);
+            self.conn_traces.push([0; 2]);
             self.conns.len() - 1
         }
     }
@@ -212,6 +222,16 @@ impl Host {
         let key = view.flow();
         if let Some(&idx) = self.by_flow.get(&key) {
             if let Some(conn) = self.conns[idx].as_mut() {
+                if ctx.spans_enabled() && pkt.span() != 0 {
+                    if view.payload.is_empty() {
+                        ctx.record_hop(pkt.span(), HopKind::TcpAck, u64::from(view.tcp.ack), 0);
+                    } else {
+                        // Remember the request this data belongs to, so
+                        // the reassembly completion it (eventually)
+                        // triggers can name it.
+                        self.conn_traces[idx][1] = pkt.span();
+                    }
+                }
                 conn.on_segment(ctx.now(), &view.tcp, view.payload);
                 self.enqueue(idx);
                 self.drain_work(ctx);
@@ -313,7 +333,24 @@ impl Host {
             conn.take_events_into(&mut events);
 
             for seg in segs.drain(..) {
-                let pkt = self.build_packet(idx, &seg, ctx.pool());
+                let mut pkt = self.build_packet(idx, &seg, ctx.pool());
+                if ctx.spans_enabled() {
+                    // Stamp the sidecar from the wire bytes themselves so
+                    // every later hop (links, LB, receiver) sees the same
+                    // trace id. Mid-message segments are unattributable
+                    // here and stay unstamped.
+                    let trace = netpkt::frame_trace_id(&pkt.data);
+                    if trace != 0 {
+                        pkt.set_span(trace);
+                        self.conn_traces[idx][0] = trace;
+                        ctx.record_hop(
+                            trace,
+                            HopKind::TcpSend,
+                            u64::from(seg.seq),
+                            seg.payload.len() as u64,
+                        );
+                    }
+                }
                 self.stats.packets_out += 1;
                 ctx.send(self.uplink, pkt);
             }
@@ -358,6 +395,12 @@ impl Host {
     }
 
     fn dispatch_event(&mut self, ctx: &mut Ctx<'_>, idx: usize, ev: ConnEvent) {
+        if ctx.spans_enabled() {
+            if let ConnEvent::Data(bytes) = &ev {
+                let trace = self.conn_traces[idx][1];
+                ctx.record_hop(trace, HopKind::TcpReassembled, 0, bytes.len() as u64);
+            }
+        }
         let mut app = self.app.take().expect("app re-entrancy");
         {
             let mut io = Io { host: self, ctx };
@@ -459,7 +502,13 @@ impl Node for Host {
                     return;
                 };
                 match kind_idx {
-                    0 => conn.on_rto(ctx.now()),
+                    0 => {
+                        conn.on_rto(ctx.now());
+                        if ctx.spans_enabled() {
+                            let trace = self.conn_traces[idx][0];
+                            ctx.record_hop(trace, HopKind::TcpRto, 0, 0);
+                        }
+                    }
                     1 => conn.on_delack(ctx.now()),
                     _ => conn.on_pace(ctx.now()),
                 }
@@ -602,5 +651,13 @@ impl HostIo for Io<'_, '_> {
             .as_ref()
             .unwrap_or_else(|| panic!("remote_addr on dead {conn}"))
             .remote()
+    }
+
+    fn span_enabled(&self) -> bool {
+        self.ctx.spans_enabled()
+    }
+
+    fn record_hop(&mut self, at: u64, trace: u64, kind: HopKind, a: u64, b: u64) {
+        self.ctx.record_hop_at(at, trace, kind, a, b);
     }
 }

@@ -73,6 +73,10 @@ fn seed_json(r: &SeedResult, indent: &str) -> String {
         ", \"gossip_merges\": {}, \"no_backend_drops\": {}, \"journal_events\": {}",
         s.gossip_merges, s.no_backend_drops, s.journal_events
     ));
+    out.push_str(&format!(
+        ", \"span_records\": {}, \"span_digest\": \"{:#018x}\"",
+        s.span_records, s.span_digest
+    ));
     out.push_str(", \"violations\": [");
     for (i, v) in r.outcome.violations.iter().enumerate() {
         if i > 0 {
@@ -129,6 +133,8 @@ mod tests {
                     no_backend_drops: 0,
                     journal_events: 5,
                     journal_hashes: vec![1],
+                    span_records: 40,
+                    span_digest: 0xfeed_f00d,
                 },
                 violations,
             },

@@ -17,11 +17,17 @@
 //!   which case the stale pre-ejection vector is intentionally kept).
 //! * `journal_replay` — replaying the journal's weight_update events
 //!   reconstructs each backend's recorded weight series bit-for-bit.
+//! * `spans_consistent` — the causal span tracer agrees with the other
+//!   observers: every journaled `T_LB` sample's flow has a matching span
+//!   tree issued at or before the sample fired, and the multiset of
+//!   span-derived `(completed_at, T_client, is_get)` triples is bitwise
+//!   the client recorders' raw samples.
 //! * `determinism` — running the same scenario twice produces the same
-//!   packet-trace hash, journals, and counters.
+//!   packet-trace hash, journals, span digest, and counters.
 //! * `harness` — the run stayed inside its observability budget (no
-//!   trace truncation, no journal overflow); a violation here means the
-//!   other checks were blind, so the minimizer shrinks the scenario.
+//!   trace truncation, no journal overflow, no span-log drops); a
+//!   violation here means the other checks were blind, so the minimizer
+//!   shrinks the scenario.
 
 use std::net::Ipv4Addr;
 
@@ -31,7 +37,8 @@ use lbcore::{AlphaShift, HealthConfig};
 use netsim::fault::{FaultSchedule, ImpairmentConfig};
 use netsim::trace::Trace;
 use netsim::{Duration, Time, TraceKind};
-use telemetry::{JournalEvent, JournalMode};
+use telemetry::span::{assemble, critical_path, sort_records, CriticalPath};
+use telemetry::{JournalEvent, JournalMode, SpanMode};
 use workload::MemtierConfig;
 
 use crate::scenario::{FaultSpec, Scenario};
@@ -42,12 +49,17 @@ use crate::scenario::{FaultSpec, Scenario};
 const TRACE_CAPACITY: usize = 1 << 22;
 /// Journal capacity per LB (events).
 const JOURNAL_CAPACITY: usize = 1 << 20;
+/// Span-log capacity (hop records, tier-wide): fuzz scenarios complete
+/// at most a few hundred thousand requests, each a dozen-odd hops;
+/// drops are a `harness` violation, not silent.
+const SPAN_CAPACITY: usize = 1 << 22;
 
 /// One invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Stable invariant name (`shard_isolation`, `ejected_quiet`,
-    /// `weights_normalized`, `journal_replay`, `determinism`, `harness`).
+    /// `weights_normalized`, `journal_replay`, `spans_consistent`,
+    /// `determinism`, `harness`).
     pub invariant: &'static str,
     /// Human-readable specifics (deterministic: derived from sim state).
     pub detail: String,
@@ -79,6 +91,11 @@ pub struct RunSummary {
     pub journal_events: u64,
     /// FNV-1a hash of each LB's journal NDJSON bytes.
     pub journal_hashes: Vec<u64>,
+    /// Span hop records retained.
+    pub span_records: u64,
+    /// FNV-1a digest of the sorted span records (see
+    /// [`telemetry::span::digest`]).
+    pub span_digest: u64,
 }
 
 /// The outcome of fuzzing one scenario: the digest of the first run and
@@ -158,6 +175,7 @@ pub fn build_cluster(sc: &Scenario) -> KvCluster {
     cfg.seed = sc.seed;
     let mut cluster = KvCluster::build(cfg);
     cluster.sim.enable_trace(TRACE_CAPACITY);
+    cluster.sim.enable_spans(SpanMode::Full(SPAN_CAPACITY));
 
     let mut faults = FaultSchedule::new();
     for f in &sc.faults {
@@ -340,6 +358,16 @@ fn digest_and_check(cluster: &KvCluster, sc: &Scenario) -> (RunSummary, Vec<Viol
             );
         }
     }
+    if cluster.sim.spans().dropped() > 0 {
+        push(
+            &mut violations,
+            "harness",
+            format!(
+                "span log dropped {} hop records",
+                cluster.sim.spans().dropped()
+            ),
+        );
+    }
 
     // -- shard_isolation: every sample's flow hashes to this LB's arm.
     let arms = &cluster.lb_arms;
@@ -474,6 +502,78 @@ fn digest_and_check(cluster: &KvCluster, sc: &Scenario) -> (RunSummary, Vec<Viol
         }
     }
 
+    // -- spans_consistent: the span tracer agrees with both independent
+    // observers of the same run.
+    let mut span_records = cluster.sim.spans().records().to_vec();
+    sort_records(&mut span_records);
+    let span_digest = telemetry::span::digest(&span_records);
+    let paths: Vec<CriticalPath> = assemble(&span_records)
+        .iter()
+        .filter_map(critical_path)
+        .collect();
+    // (a) Every journaled T_LB sample's flow has a matching span tree:
+    // a request was issued (and traced) on that flow at or before the
+    // sample fired. Not "completed" — the earliest samples are anchored
+    // on the handshake and fire on the first request packet, before any
+    // response has reached the client.
+    let mut first_issue: std::collections::BTreeMap<(u32, u16), u64> =
+        std::collections::BTreeMap::new();
+    for span in assemble(&span_records) {
+        if let Some(issue) = span.first(telemetry::span::HopKind::ClientIssue) {
+            let (ip, port) = telemetry::span::unpack_addr(issue.a);
+            let e = first_issue.entry((ip, port)).or_insert(issue.at);
+            *e = (*e).min(issue.at);
+        }
+    }
+    for (i, node) in nodes.iter().enumerate() {
+        for ev in node.journal().events() {
+            if let JournalEvent::Sample {
+                at,
+                src_ip,
+                src_port,
+                ..
+            } = ev
+            {
+                let matched = first_issue
+                    .get(&(*src_ip, *src_port))
+                    .is_some_and(|&t| t <= *at);
+                if !matched {
+                    push(
+                        &mut violations,
+                        "spans_consistent",
+                        format!(
+                            "LB {i} sample at t={at} for flow {src_ip:#010x}:{src_port} \
+                             has no span tree issued at or before it"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // (b) Span-derived T_client is bitwise the client recorders' raw
+    // samples: same completion instants, same latencies, same op mix.
+    let mut from_spans: Vec<(u64, u64, bool)> = paths
+        .iter()
+        .map(|p| (p.completed_at, p.t_client, p.is_get))
+        .collect();
+    let mut from_recorders: Vec<(u64, u64, bool)> = (0..cluster.clients.len())
+        .flat_map(|i| cluster.client_app(i).recorder.raw().iter().copied())
+        .collect();
+    from_spans.sort_unstable();
+    from_recorders.sort_unstable();
+    if from_spans != from_recorders {
+        push(
+            &mut violations,
+            "spans_consistent",
+            format!(
+                "span-derived T_client multiset ({} paths) differs from the \
+                 client recorders' raw samples ({})",
+                from_spans.len(),
+                from_recorders.len()
+            ),
+        );
+    }
+
     let summary = RunSummary {
         trace_hash: fold_trace(trace),
         trace_events: trace.events().len() as u64,
@@ -488,6 +588,8 @@ fn digest_and_check(cluster: &KvCluster, sc: &Scenario) -> (RunSummary, Vec<Viol
             .iter()
             .map(|n| fnv1a(n.journal().to_ndjson().as_bytes()))
             .collect(),
+        span_records: span_records.len() as u64,
+        span_digest,
     };
     (summary, violations)
 }

@@ -933,6 +933,42 @@ mod tests {
     }
 
     #[test]
+    fn ring_capacity_boundaries_keep_exactly_last_n() {
+        // cap = 1: only the newest event ever survives a wrap.
+        let mut j = Journal::new(JournalMode::Ring(1));
+        for at in 0..5 {
+            j.push(JournalEvent::NoBackend { at });
+        }
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.overflow(), 4);
+        assert_eq!(j.events().map(|e| e.at()).collect::<Vec<_>>(), vec![4]);
+        // cap = n exactly: no wrap, no overflow, order preserved.
+        let mut j = Journal::new(JournalMode::Ring(4));
+        for at in 0..4 {
+            j.push(JournalEvent::NoBackend { at });
+        }
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.overflow(), 0);
+        assert_eq!(
+            j.events().map(|e| e.at()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        // One more push wraps: exactly the last 4, chronological.
+        j.push(JournalEvent::NoBackend { at: 4 });
+        assert_eq!(j.len(), 4);
+        assert_eq!(j.overflow(), 1);
+        assert_eq!(
+            j.events().map(|e| e.at()).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        // cap = 0 ring: degenerate flight recorder, everything overflows.
+        let mut j = Journal::new(JournalMode::Ring(0));
+        j.push(JournalEvent::NoBackend { at: 9 });
+        assert!(j.is_empty());
+        assert_eq!(j.overflow(), 1);
+    }
+
+    #[test]
     fn full_mode_caps_and_counts_overflow() {
         let mut j = Journal::new(JournalMode::Full(2));
         for at in 0..5 {

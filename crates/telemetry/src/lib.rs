@@ -14,6 +14,7 @@ pub mod histogram;
 pub mod journal;
 pub mod percentile;
 pub mod registry;
+pub mod span;
 pub mod summary;
 pub mod table;
 pub mod timeseries;
@@ -22,6 +23,7 @@ pub use histogram::LogHistogram;
 pub use journal::{Journal, JournalEvent, JournalMode, WeightCause};
 pub use percentile::{exact_percentile, P2Quantile};
 pub use registry::{CounterId, GaugeId, HistId, MetricsRegistry};
+pub use span::{CriticalPath, HopKind, HopRecord, Span, SpanLog, SpanMode};
 pub use summary::AccuracySummary;
 pub use table::Table;
 pub use timeseries::{BinnedSeries, ScalarSeries};

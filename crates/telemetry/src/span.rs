@@ -1,0 +1,756 @@
+//! Deterministic causal span tracing: per-request hop records, span
+//! assembly, and the critical-path walk.
+//!
+//! Every causally interesting point in the simulator (link delivery,
+//! TCP send/ACK/RTO, LB parse→pick→forward, backend enqueue/service/
+//! respond, client issue/consume) can record a [`HopRecord`] tagged with
+//! a 64-bit *trace id* derived purely from the flow key and the request
+//! sequence number. Records are assembled offline into per-request
+//! [`Span`]s, and [`critical_path`] decomposes a request's end-to-end
+//! latency into the five segments the estimator error budget needs:
+//! forward network, LB processing, backend queueing, backend service,
+//! and reverse network.
+//!
+//! Like the decision journal, the tier is mode-gated ([`SpanMode`]), off
+//! by default, and a pure function of the seed: recording never arms
+//! timers, draws randomness, or perturbs wire bytes, so enabling it
+//! cannot change the packet schedule, and two runs with the same seed
+//! produce byte-identical NDJSON and equal [`digest`]s.
+
+/// What the span log retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanMode {
+    /// Record nothing (default). All recording sites gate on
+    /// [`SpanLog::enabled`], so this mode is free on the hot path.
+    Off,
+    /// Record only traces with `trace % stride == 0`, up to `capacity`
+    /// hop records. Sampling keys on the trace id — a pure function of
+    /// the flow and request number — so every layer keeps or drops the
+    /// same requests and sampled spans stay complete.
+    Sampled {
+        /// Keep traces whose id is divisible by this (0 behaves as 1).
+        stride: u64,
+        /// Hard cap on retained hop records.
+        capacity: usize,
+    },
+    /// Record every traced hop up to a hard record limit; records past
+    /// the limit are dropped and counted in [`SpanLog::dropped`].
+    Full(usize),
+}
+
+impl SpanMode {
+    /// True when hops should be recorded at all.
+    pub fn enabled(&self) -> bool {
+        !matches!(self, SpanMode::Off)
+    }
+
+    /// True when a hop tagged with `trace` should be retained. Untraced
+    /// hops (`trace == 0`) are never recorded.
+    pub fn accepts(&self, trace: u64) -> bool {
+        match *self {
+            SpanMode::Off => false,
+            SpanMode::Sampled { stride, .. } => trace != 0 && trace % stride.max(1) == 0,
+            SpanMode::Full(_) => trace != 0,
+        }
+    }
+}
+
+/// The hop taxonomy: one variant per causally interesting point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum HopKind {
+    /// Client wrote a request to its socket. `a` packs the client
+    /// address, `b` packs `is_get` (bit 63) and the request id.
+    ClientIssue,
+    /// LB parsed the flow key of a delivered frame. `a` packs the client
+    /// address, `b` is the frame wire length.
+    LbDeliver,
+    /// LB found the flow pinned in its flow table. `a` packs the client
+    /// address, `b` is the pinned backend index.
+    LbFlowTable,
+    /// LB admitted a new flow and picked a backend. `a` packs the client
+    /// address, `b` is the chosen backend index.
+    LbPick,
+    /// LB forwarded a frame toward a backend. `a` is the backend index,
+    /// `b` is the frame wire length.
+    LbForward,
+    /// Backend decoded a complete request. `a` packs the client address,
+    /// `b` is the request id.
+    BackendEnqueue,
+    /// A worker began service (timestamp may postdate the enqueue —
+    /// the queueing delay is exactly that gap). `a` packs the client
+    /// address, `b` is the request id.
+    BackendServiceStart,
+    /// Backend wrote the response to its socket. `a` packs the client
+    /// address, `b` is the request id.
+    BackendRespond,
+    /// Client consumed a complete response. `a` packs the client
+    /// address, `b` is the request id.
+    ClientConsume,
+    /// A link delivered a traced frame to a node. `a` is the link id,
+    /// `b` is the frame wire length.
+    LinkDeliver,
+    /// A traced frame died in the network. `a` is the link id, `b` is a
+    /// [`drop_reason`] code.
+    LinkDrop,
+    /// The impairment layer duplicated or reordered a traced frame.
+    /// `a` is the link id, `b` is an [`impair_kind`] code.
+    LinkImpair,
+    /// TCP built a traced data segment. `a` is the sequence number,
+    /// `b` is the payload length.
+    TcpSend,
+    /// TCP processed an ACK on a traced flow. `a` is the ack number.
+    TcpAck,
+    /// A retransmission timeout fired on a flow whose last traced
+    /// activity belongs to this span.
+    TcpRto,
+    /// In-order payload from a traced segment reached the application.
+    /// `a` is the sequence number, `b` is the payload length.
+    TcpReassembled,
+}
+
+/// All hop kinds, in wire order (the order [`HopKind::code`] follows).
+pub const HOP_KINDS: [HopKind; 16] = [
+    HopKind::ClientIssue,
+    HopKind::LbDeliver,
+    HopKind::LbFlowTable,
+    HopKind::LbPick,
+    HopKind::LbForward,
+    HopKind::BackendEnqueue,
+    HopKind::BackendServiceStart,
+    HopKind::BackendRespond,
+    HopKind::ClientConsume,
+    HopKind::LinkDeliver,
+    HopKind::LinkDrop,
+    HopKind::LinkImpair,
+    HopKind::TcpSend,
+    HopKind::TcpAck,
+    HopKind::TcpRto,
+    HopKind::TcpReassembled,
+];
+
+impl HopKind {
+    /// Stable numeric code (tie-break key in sorts and digests).
+    pub fn code(&self) -> u8 {
+        match self {
+            HopKind::ClientIssue => 0,
+            HopKind::LbDeliver => 1,
+            HopKind::LbFlowTable => 2,
+            HopKind::LbPick => 3,
+            HopKind::LbForward => 4,
+            HopKind::BackendEnqueue => 5,
+            HopKind::BackendServiceStart => 6,
+            HopKind::BackendRespond => 7,
+            HopKind::ClientConsume => 8,
+            HopKind::LinkDeliver => 9,
+            HopKind::LinkDrop => 10,
+            HopKind::LinkImpair => 11,
+            HopKind::TcpSend => 12,
+            HopKind::TcpAck => 13,
+            HopKind::TcpRto => 14,
+            HopKind::TcpReassembled => 15,
+        }
+    }
+
+    /// Stable wire name (the `"hop"` field of the NDJSON schema).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HopKind::ClientIssue => "client_issue",
+            HopKind::LbDeliver => "lb_deliver",
+            HopKind::LbFlowTable => "lb_flow_table",
+            HopKind::LbPick => "lb_pick",
+            HopKind::LbForward => "lb_forward",
+            HopKind::BackendEnqueue => "backend_enqueue",
+            HopKind::BackendServiceStart => "backend_service_start",
+            HopKind::BackendRespond => "backend_respond",
+            HopKind::ClientConsume => "client_consume",
+            HopKind::LinkDeliver => "link_deliver",
+            HopKind::LinkDrop => "link_drop",
+            HopKind::LinkImpair => "link_impair",
+            HopKind::TcpSend => "tcp_send",
+            HopKind::TcpAck => "tcp_ack",
+            HopKind::TcpRto => "tcp_rto",
+            HopKind::TcpReassembled => "tcp_reassembled",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<HopKind> {
+        HOP_KINDS.iter().copied().find(|k| k.as_str() == s)
+    }
+}
+
+/// Why a traced frame died ([`HopKind::LinkDrop`]'s `b` field).
+pub mod drop_reason {
+    /// The sending node was scripted down.
+    pub const NODE_DOWN: u64 = 0;
+    /// The impairment layer corrupted the frame in flight.
+    pub const CORRUPT: u64 = 1;
+    /// The link queue was full or the link was down.
+    pub const LINK: u64 = 2;
+    /// The receiving node was scripted down.
+    pub const RECEIVER_DOWN: u64 = 3;
+}
+
+/// What the impairment layer did ([`HopKind::LinkImpair`]'s `b` field).
+pub mod impair_kind {
+    /// The frame will be delivered twice.
+    pub const DUPLICATE: u64 = 1;
+    /// The frame was held back by a reordering delay.
+    pub const REORDER: u64 = 2;
+}
+
+/// Packs an IPv4 address and port into a hop record operand.
+pub fn pack_addr(ip: u32, port: u16) -> u64 {
+    (u64::from(ip) << 16) | u64::from(port)
+}
+
+/// Inverse of [`pack_addr`].
+pub fn unpack_addr(a: u64) -> (u32, u16) {
+    ((a >> 16) as u32, (a & 0xffff) as u16)
+}
+
+/// One hop record. `a`/`b` are kind-specific operands (see [`HopKind`]);
+/// `node` is the simulator node id the hop happened at (0 until stamped
+/// for logs kept by application objects that don't know their node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopRecord {
+    /// Sim time of the hop, nanoseconds.
+    pub at: u64,
+    /// Trace id of the request this hop belongs to (never 0 once
+    /// retained).
+    pub trace: u64,
+    /// Which causal point this is.
+    pub kind: HopKind,
+    /// Simulator node id the hop happened at.
+    pub node: u32,
+    /// First kind-specific operand.
+    pub a: u64,
+    /// Second kind-specific operand.
+    pub b: u64,
+}
+
+/// An append-only hop store owned by each recording layer.
+#[derive(Debug, Clone)]
+pub struct SpanLog {
+    mode: SpanMode,
+    records: Vec<HopRecord>,
+    dropped: u64,
+}
+
+impl SpanLog {
+    /// New log in the given mode.
+    pub fn new(mode: SpanMode) -> SpanLog {
+        SpanLog {
+            mode,
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Disabled log; [`SpanLog::record`] is a no-op.
+    pub fn off() -> SpanLog {
+        SpanLog::new(SpanMode::Off)
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> SpanMode {
+        self.mode
+    }
+
+    /// Cheap hot-path gate: should callers bother building records?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.mode.enabled()
+    }
+
+    /// True when a hop tagged with `trace` would be retained.
+    #[inline]
+    pub fn accepts(&self, trace: u64) -> bool {
+        self.mode.accepts(trace)
+    }
+
+    /// Record a hop (no-op when the mode rejects its trace; counts a
+    /// drop when the capacity cap is hit).
+    pub fn record(&mut self, rec: HopRecord) {
+        if !self.mode.accepts(rec.trace) {
+            return;
+        }
+        let cap = match self.mode {
+            SpanMode::Off => return,
+            SpanMode::Sampled { capacity, .. } => capacity,
+            SpanMode::Full(cap) => cap,
+        };
+        if self.records.len() < cap {
+            self.records.push(rec);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained records, in recording order.
+    pub fn records(&self) -> &[HopRecord] {
+        &self.records
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records rejected by the capacity cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drains the retained records (harvest helper).
+    pub fn take(&mut self) -> Vec<HopRecord> {
+        std::mem::take(&mut self.records)
+    }
+}
+
+/// Canonical record order: time, then trace, then hop code, then node,
+/// then operands. Merging several layers' logs and sorting with this
+/// yields one deterministic stream regardless of harvest order.
+pub fn sort_records(records: &mut [HopRecord]) {
+    records.sort_unstable_by_key(|r| (r.at, r.trace, r.kind.code(), r.node, r.a, r.b));
+}
+
+/// FNV-1a digest over a record stream; equal for byte-identical streams.
+/// The run-twice determinism tests compare this.
+pub fn digest(records: &[HopRecord]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for r in records {
+        eat(r.at);
+        eat(r.trace);
+        eat(u64::from(r.kind.code()));
+        eat(u64::from(r.node));
+        eat(r.a);
+        eat(r.b);
+    }
+    h
+}
+
+/// Append one hop as a single flat JSON object (no trailing newline).
+/// The schema is uniform across kinds:
+/// `{"at":…,"trace":…,"hop":"…","node":…,"a":…,"b":…}`.
+pub fn write_hop(out: &mut String, r: &HopRecord) {
+    use core::fmt::Write;
+    let _ = write!(
+        out,
+        "{{\"at\":{},\"trace\":{},\"hop\":\"{}\",\"node\":{},\"a\":{},\"b\":{}}}",
+        r.at,
+        r.trace,
+        r.kind.as_str(),
+        r.node,
+        r.a,
+        r.b
+    );
+}
+
+/// Serialize a record stream as NDJSON.
+pub fn to_ndjson(records: &[HopRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        write_hop(&mut out, r);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse one NDJSON line back into a hop record.
+pub fn parse_hop(line: &str) -> Result<HopRecord, String> {
+    // The span wire format is a fixed six-field object written by
+    // `write_hop`; parse positionally but verify every key.
+    let take = |rest: &str, key: &str| -> Result<(String, String), String> {
+        let rest = rest
+            .strip_prefix(&format!("\"{key}\":"))
+            .ok_or_else(|| format!("expected field {key:?}"))?;
+        let end = rest
+            .find([',', '}'])
+            .ok_or_else(|| format!("unterminated field {key:?}"))?;
+        Ok((rest[..end].to_string(), rest[end + 1..].to_string()))
+    };
+    let num = |raw: &str, key: &str| -> Result<u64, String> {
+        raw.parse::<u64>()
+            .map_err(|e| format!("field {key:?}: bad integer {raw:?}: {e}"))
+    };
+    let line = line.trim();
+    let rest = line
+        .strip_prefix('{')
+        .ok_or_else(|| "expected '{'".to_string())?;
+    let rest = rest.strip_suffix('}').unwrap_or(rest);
+    // strip_suffix removed '}' so `take` relies on ',' separators plus a
+    // final unterminated field; re-append a ',' sentinel for uniformity.
+    let rest = format!("{rest},");
+    let (at, rest) = take(&rest, "at")?;
+    let (trace, rest) = take(&rest, "trace")?;
+    let (hop, rest) = take(&rest, "hop")?;
+    let (node, rest) = take(&rest, "node")?;
+    let (a, rest) = take(&rest, "a")?;
+    let (b, _) = take(&rest, "b")?;
+    let hop = hop
+        .strip_prefix('"')
+        .and_then(|h| h.strip_suffix('"'))
+        .ok_or_else(|| format!("field \"hop\": expected string, got {hop:?}"))?;
+    let kind = HopKind::from_str(hop).ok_or_else(|| format!("unknown hop kind {hop:?}"))?;
+    Ok(HopRecord {
+        at: num(&at, "at")?,
+        trace: num(&trace, "trace")?,
+        kind,
+        node: num(&node, "node")? as u32,
+        a: num(&a, "a")?,
+        b: num(&b, "b")?,
+    })
+}
+
+/// Parse a full NDJSON document (blank lines skipped). Fails on the
+/// first malformed line with its 1-based line number.
+pub fn parse_ndjson(text: &str) -> Result<Vec<HopRecord>, String> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_hop(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(out)
+}
+
+/// One request's assembled hop records, in canonical order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The trace id shared by every record.
+    pub trace: u64,
+    /// The span's hop records, sorted by [`sort_records`]'s key.
+    pub records: Vec<HopRecord>,
+}
+
+impl Span {
+    /// The first record of the given kind, if any.
+    pub fn first(&self, kind: HopKind) -> Option<&HopRecord> {
+        self.records.iter().find(|r| r.kind == kind)
+    }
+
+    /// The first record of the given kind at or after `t`.
+    pub fn first_at_or_after(&self, kind: HopKind, t: u64) -> Option<&HopRecord> {
+        self.records.iter().find(|r| r.kind == kind && r.at >= t)
+    }
+}
+
+/// Group a record stream into per-request spans. Untraced records
+/// (`trace == 0`) are skipped. Spans are ordered by the sim time of
+/// their earliest record (trace id tie-break), records within a span by
+/// the canonical key — both independent of input order.
+pub fn assemble(records: &[HopRecord]) -> Vec<Span> {
+    let mut sorted: Vec<HopRecord> = records.iter().copied().filter(|r| r.trace != 0).collect();
+    sort_records(&mut sorted);
+    let mut by_trace: std::collections::BTreeMap<u64, Vec<HopRecord>> =
+        std::collections::BTreeMap::new();
+    for r in sorted {
+        by_trace.entry(r.trace).or_default().push(r);
+    }
+    let mut spans: Vec<Span> = by_trace
+        .into_iter()
+        .map(|(trace, records)| Span { trace, records })
+        .collect();
+    spans.sort_by_key(|s| (s.records[0].at, s.trace));
+    spans
+}
+
+/// A request's end-to-end latency decomposed along its causal path.
+///
+/// Milestones are walked in order (issue → LB deliver → LB forward →
+/// backend enqueue → service start → respond → consume); each present
+/// milestone closes the segment since the previous present one, and a
+/// missing milestone contributes a zero-width segment (its time folds
+/// into the next present segment). The segments therefore always sum to
+/// `t_client` exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CriticalPath {
+    /// The request's trace id.
+    pub trace: u64,
+    /// Client IPv4.
+    pub client_ip: u32,
+    /// Client source port.
+    pub client_port: u16,
+    /// Client-assigned request id.
+    pub request_id: u64,
+    /// True for GETs, false for SETs.
+    pub is_get: bool,
+    /// Backend index the LB chose, when an LB hop recorded one.
+    pub backend: Option<u64>,
+    /// Sim time the client issued the request.
+    pub issued_at: u64,
+    /// Sim time the client consumed the response.
+    pub completed_at: u64,
+    /// End-to-end latency: `completed_at - issued_at`. Bitwise equal to
+    /// the client recorder's measurement (both reuse the same clock
+    /// reads).
+    pub t_client: u64,
+    /// Client send → LB delivery (forward network, client side).
+    pub client_to_lb: u64,
+    /// LB delivery → LB forward (LB processing).
+    pub lb_proc: u64,
+    /// LB forward → backend request decoded (forward network, backend
+    /// side, including TCP reassembly).
+    pub lb_to_backend: u64,
+    /// Backend decode → worker pickup (backend queueing).
+    pub backend_queue: u64,
+    /// Worker pickup → response written (backend service).
+    pub backend_service: u64,
+    /// Response written → client consumed it (reverse network — DSR, so
+    /// this leg never crosses the LB).
+    pub reverse_net: u64,
+}
+
+/// Walk a span's critical path. Returns `None` unless the span has both
+/// a `ClientIssue` and a matching `ClientConsume` (same request id).
+pub fn critical_path(span: &Span) -> Option<CriticalPath> {
+    let issue = span.first(HopKind::ClientIssue)?;
+    let request_id = issue.b & !(1 << 63);
+    let is_get = issue.b >> 63 == 1;
+    let (client_ip, client_port) = unpack_addr(issue.a);
+    let consume = span
+        .records
+        .iter()
+        .find(|r| r.kind == HopKind::ClientConsume && r.b == request_id)?;
+    let issued_at = issue.at;
+    let completed_at = consume.at;
+    let backend = span
+        .first(HopKind::LbFlowTable)
+        .or_else(|| span.first(HopKind::LbPick))
+        .map(|r| r.b)
+        .or_else(|| span.first(HopKind::LbForward).map(|r| r.a));
+    // Milestones between issue and consume, in causal order. Each
+    // present one closes the segment since the previous present one.
+    let milestones = [
+        span.first_at_or_after(HopKind::LbDeliver, issued_at),
+        span.first_at_or_after(HopKind::LbForward, issued_at),
+        span.first_at_or_after(HopKind::BackendEnqueue, issued_at),
+        span.first_at_or_after(HopKind::BackendServiceStart, issued_at),
+        span.first_at_or_after(HopKind::BackendRespond, issued_at),
+    ];
+    let mut seg = [0u64; 6];
+    let mut prev = issued_at;
+    for (i, m) in milestones.iter().enumerate() {
+        if let Some(r) = m {
+            let at = r.at.clamp(prev, completed_at);
+            seg[i] = at - prev;
+            prev = at;
+        }
+    }
+    seg[5] = completed_at.saturating_sub(prev);
+    Some(CriticalPath {
+        trace: span.trace,
+        client_ip,
+        client_port,
+        request_id,
+        is_get,
+        backend,
+        issued_at,
+        completed_at,
+        t_client: completed_at.saturating_sub(issued_at),
+        client_to_lb: seg[0],
+        lb_proc: seg[1],
+        lb_to_backend: seg[2],
+        backend_queue: seg[3],
+        backend_service: seg[4],
+        reverse_net: seg[5],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: u64, trace: u64, kind: HopKind, node: u32, a: u64, b: u64) -> HopRecord {
+        HopRecord {
+            at,
+            trace,
+            kind,
+            node,
+            a,
+            b,
+        }
+    }
+
+    fn full_request(trace: u64, t0: u64, req_id: u64) -> Vec<HopRecord> {
+        let addr = pack_addr(0x0a00_0001, 40_000);
+        vec![
+            rec(t0, trace, HopKind::ClientIssue, 1, addr, (1 << 63) | req_id),
+            rec(t0 + 10, trace, HopKind::LbDeliver, 2, addr, 100),
+            rec(t0 + 11, trace, HopKind::LbFlowTable, 2, addr, 1),
+            rec(t0 + 12, trace, HopKind::LbForward, 2, 1, 100),
+            rec(t0 + 30, trace, HopKind::BackendEnqueue, 3, addr, req_id),
+            rec(
+                t0 + 45,
+                trace,
+                HopKind::BackendServiceStart,
+                3,
+                addr,
+                req_id,
+            ),
+            rec(t0 + 95, trace, HopKind::BackendRespond, 3, addr, req_id),
+            rec(t0 + 120, trace, HopKind::ClientConsume, 1, addr, req_id),
+        ]
+    }
+
+    #[test]
+    fn mode_gates() {
+        assert!(!SpanMode::Off.enabled());
+        assert!(!SpanMode::Off.accepts(4));
+        let s = SpanMode::Sampled {
+            stride: 4,
+            capacity: 8,
+        };
+        assert!(s.enabled());
+        assert!(s.accepts(8));
+        assert!(!s.accepts(9));
+        assert!(!s.accepts(0), "trace 0 is never sampled");
+        assert!(SpanMode::Full(8).accepts(1));
+        assert!(!SpanMode::Full(8).accepts(0));
+    }
+
+    #[test]
+    fn log_caps_and_counts_drops() {
+        let mut log = SpanLog::new(SpanMode::Full(2));
+        for at in 0..5 {
+            log.record(rec(at, 7, HopKind::LinkDeliver, 0, 0, 0));
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 3);
+        // Untraced records are rejected before the cap.
+        let mut log = SpanLog::new(SpanMode::Full(8));
+        log.record(rec(0, 0, HopKind::LinkDeliver, 0, 0, 0));
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+        assert!(SpanLog::off().records().is_empty());
+    }
+
+    #[test]
+    fn ndjson_roundtrip_every_kind() {
+        let records: Vec<HopRecord> = HOP_KINDS
+            .iter()
+            .enumerate()
+            .map(|(i, &kind)| rec(i as u64, u64::MAX - i as u64, kind, i as u32, 1 << 40, 3))
+            .collect();
+        let text = to_ndjson(&records);
+        let parsed = parse_ndjson(&text).unwrap();
+        assert_eq!(parsed, records);
+        // Writer is canonical: re-serializing the parse is byte-identical.
+        assert_eq!(to_ndjson(&parsed), text);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_hop("{\"at\":1}").is_err());
+        assert!(
+            parse_hop("{\"at\":1,\"trace\":2,\"hop\":\"bogus\",\"node\":0,\"a\":0,\"b\":0}")
+                .is_err()
+        );
+        assert!(parse_ndjson("not json").is_err());
+        let err = parse_ndjson(
+            "{\"at\":1,\"trace\":2,\"hop\":\"tcp_ack\",\"node\":0,\"a\":0,\"b\":0}\nnope",
+        )
+        .unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
+    }
+
+    #[test]
+    fn pack_addr_roundtrips() {
+        let (ip, port) = unpack_addr(pack_addr(0xc0a8_0101, 65_535));
+        assert_eq!((ip, port), (0xc0a8_0101, 65_535));
+        let (ip, port) = unpack_addr(pack_addr(0, 0));
+        assert_eq!((ip, port), (0, 0));
+    }
+
+    #[test]
+    fn assemble_groups_and_orders_deterministically() {
+        let mut records = full_request(9, 1_000, 1);
+        records.extend(full_request(4, 500, 2));
+        records.push(rec(700, 0, HopKind::LinkDeliver, 0, 0, 0)); // untraced
+                                                                  // Shuffle-ish: reverse input order; assembly must not care.
+        let mut reversed = records.clone();
+        reversed.reverse();
+        let spans = assemble(&records);
+        assert_eq!(spans, assemble(&reversed));
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].trace, 4, "earliest span first");
+        assert_eq!(spans[1].trace, 9);
+        assert!(spans.iter().all(|s| s.records.len() == 8));
+    }
+
+    #[test]
+    fn critical_path_decomposes_exactly() {
+        let spans = assemble(&full_request(9, 1_000, 1));
+        let cp = critical_path(&spans[0]).unwrap();
+        assert_eq!(cp.trace, 9);
+        assert_eq!(cp.client_ip, 0x0a00_0001);
+        assert_eq!(cp.client_port, 40_000);
+        assert_eq!(cp.request_id, 1);
+        assert!(cp.is_get);
+        assert_eq!(cp.backend, Some(1));
+        assert_eq!(cp.t_client, 120);
+        assert_eq!(cp.client_to_lb, 10);
+        assert_eq!(cp.lb_proc, 2);
+        assert_eq!(cp.lb_to_backend, 18);
+        assert_eq!(cp.backend_queue, 15);
+        assert_eq!(cp.backend_service, 50);
+        assert_eq!(cp.reverse_net, 25);
+        let sum = cp.client_to_lb
+            + cp.lb_proc
+            + cp.lb_to_backend
+            + cp.backend_queue
+            + cp.backend_service
+            + cp.reverse_net;
+        assert_eq!(sum, cp.t_client);
+    }
+
+    #[test]
+    fn critical_path_folds_missing_milestones_forward() {
+        // No backend hops at all: their segments are zero and the time
+        // lands in reverse_net; the sum invariant still holds.
+        let records: Vec<HopRecord> = full_request(9, 0, 1)
+            .into_iter()
+            .filter(|r| {
+                !matches!(
+                    r.kind,
+                    HopKind::BackendEnqueue
+                        | HopKind::BackendServiceStart
+                        | HopKind::BackendRespond
+                )
+            })
+            .collect();
+        let cp = critical_path(&assemble(&records)[0]).unwrap();
+        assert_eq!(cp.backend_queue + cp.backend_service + cp.lb_to_backend, 0);
+        assert_eq!(cp.reverse_net, 108);
+        assert_eq!(cp.t_client, 120);
+        // A span with no consume (in-flight request) has no path.
+        let open: Vec<HopRecord> = full_request(9, 0, 1)
+            .into_iter()
+            .filter(|r| r.kind != HopKind::ClientConsume)
+            .collect();
+        assert!(critical_path(&assemble(&open)[0]).is_none());
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_stable() {
+        let records = full_request(9, 1_000, 1);
+        let d1 = digest(&records);
+        assert_eq!(d1, digest(&records.clone()));
+        let mut swapped = records.clone();
+        swapped.swap(0, 1);
+        assert_ne!(d1, digest(&swapped));
+        assert_ne!(digest(&[]), 0);
+    }
+}

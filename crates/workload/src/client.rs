@@ -8,6 +8,7 @@ use netsim::rng::component_rng;
 use netsim::rng::SimRng;
 use netsim::Duration;
 use nettcp::{App, ConnId, HostIo};
+use telemetry::span::{pack_addr, HopKind};
 
 use crate::keyspace::{KeyDist, KeySampler};
 use crate::recorder::LatencyRecorder;
@@ -169,9 +170,20 @@ impl MemtierClient {
         } else {
             KvMessage::set(req_id, key, self.cfg.set_value_len)
         };
-        t.outstanding.insert(req_id, (io.now().as_nanos(), is_get));
+        let now = io.now().as_nanos();
+        t.outstanding.insert(req_id, (now, is_get));
         t.issued += 1;
         self.stats.issued += 1;
+        if io.span_enabled() {
+            // Under DSR the local address of this connection names the
+            // client endpoint the dataplane sees, so the trace id here
+            // matches the one derived from wire bytes at every hop.
+            let (ip, port) = io.local_addr(conn);
+            let trace = netpkt::trace_id(u32::from(ip), port, req_id);
+            let addr = pack_addr(u32::from(ip), port);
+            let b = (u64::from(is_get) << 63) | req_id;
+            io.record_hop(now, trace, HopKind::ClientIssue, addr, b);
+        }
         io.send(conn, &msg.encode());
     }
 
@@ -250,12 +262,21 @@ impl App for MemtierClient {
                     "response op does not match request"
                 );
                 t.completed += 1;
-                finished.push((now.saturating_sub(issued_at), is_get));
+                finished.push((resp.request_id, now.saturating_sub(issued_at), is_get));
             }
         }
-        for (latency, is_get) in finished {
+        let spans = io.span_enabled();
+        for (req_id, latency, is_get) in finished {
             self.stats.completed += 1;
             self.recorder.record_response(now, latency, is_get);
+            if spans {
+                // Recorded at the same clock read the recorder uses, so
+                // span-derived T_client is bitwise the recorder's latency.
+                let (ip, port) = io.local_addr(conn);
+                let trace = netpkt::trace_id(u32::from(ip), port, req_id);
+                let addr = pack_addr(u32::from(ip), port);
+                io.record_hop(now, trace, HopKind::ClientConsume, addr, req_id);
+            }
         }
         self.continue_conn(io, conn);
         self.maybe_recycle(io, conn);

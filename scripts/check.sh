@@ -33,10 +33,10 @@ cargo test -q --workspace
 
 # The root-package integration suites (determinism, DSR invariants,
 # health ejection under fault injection, multi-LB conformance and
-# invariants, observability/journal conformance) and the lbcore/netsim
-# property tests are part of `--workspace` above; run them by name too
-# so a filtered or partial test invocation can't silently skip the
-# tier-1 suites.
+# invariants, observability/journal/span conformance) and the
+# lbcore/netsim property tests are part of `--workspace` above; run
+# them by name too so a filtered or partial test invocation can't
+# silently skip the tier-1 suites.
 echo "==> tier-1 integration suites (release)"
 cargo test -q --release --test determinism --test dsr_invariants \
     --test health_ejection --test paper_claims \
@@ -44,6 +44,13 @@ cargo test -q --release --test determinism --test dsr_invariants \
     --test observability --test fuzz_regressions
 cargo test -q -p lbcore --test proptests
 cargo test -q -p netsim --test ecmp_proptests
+# The span tracer's unit layer (hop schema, critical-path walk,
+# NDJSON, ring/flight-recorder) and its analyzer (span capture,
+# critical-path table, error-budget join) are tier-1 by name: the
+# observability suite above consumes them end to end, but a unit
+# regression should name the layer it broke.
+cargo test -q --release -p telemetry --lib
+cargo test -q --release -p bench --lib
 
 # Scenario-fuzz smoke campaign: every seed in the smoke range runs the
 # full invariant suite (each seed twice, for the determinism check).
@@ -54,11 +61,12 @@ cargo run -q --release -p bench --bin scenariofuzz -- run --seeds 0..25 \
     --out target/bench/fuzz_smoke.json
 
 # Perf snapshot: quick variants of the pinned perfbench scenarios, plus
-# the fig3_kv_journal overhead point (journal recording on).
-# Non-gating — numbers are host-dependent; the artifact is for trend
-# tracking (see EXPERIMENTS.md "Performance"), not pass/fail.
-echo "==> perfbench --quick --journal (non-gating)"
-cargo run -q --release -p bench --bin perfbench -- --quick --journal \
+# the fig3_kv_journal and fig3_kv_spans overhead points (journal /
+# span recording on). Non-gating — numbers are host-dependent; the
+# artifact is for trend tracking (see EXPERIMENTS.md "Performance"),
+# not pass/fail.
+echo "==> perfbench --quick --journal --spans (non-gating)"
+cargo run -q --release -p bench --bin perfbench -- --quick --journal --spans \
     --out target/bench/BENCH_perf_quick.json \
     || echo "perfbench failed (non-gating); continuing"
 

@@ -92,6 +92,7 @@ fn multilb_trace_hash(seed: u64, sim_ms: u64) -> (u64, usize) {
         extra: Duration::from_millis(1),
         bin: Duration::from_millis(250),
         gossip: Some(GossipParams::default()),
+        journal: telemetry::JournalMode::Off,
         seed,
     };
     let mut cluster = build_multilb_cluster(&cfg);

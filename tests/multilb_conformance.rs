@@ -70,6 +70,7 @@ fn multilb_n1_trace_hash(seed: u64, sim_ms: u64) -> (u64, usize) {
         extra: Duration::from_millis(1),
         bin: Duration::from_secs(1),
         gossip: None,
+        journal: telemetry::JournalMode::Off,
         seed,
     };
     let mut cluster = build_multilb_cluster(&cfg);
@@ -100,6 +101,7 @@ fn n1_multilb_results_match_fig3_aware_exactly() {
         bin: Duration::from_millis(500),
         seed: 42,
         journal: telemetry::JournalMode::Off,
+        span: telemetry::SpanMode::Off,
     };
     let multi_cfg = MultiLbConfig {
         n_lbs: 1,
@@ -108,6 +110,7 @@ fn n1_multilb_results_match_fig3_aware_exactly() {
         extra: fig3_cfg.extra,
         bin: fig3_cfg.bin,
         gossip: None,
+        journal: telemetry::JournalMode::Off,
         seed: fig3_cfg.seed,
     };
     let reference = run_fig3_aware(&fig3_cfg);

@@ -28,6 +28,7 @@ fn invariant_cfg(gossip: Option<GossipParams>) -> MultiLbConfig {
         extra: Duration::from_millis(1),
         bin: Duration::from_millis(500),
         gossip,
+        journal: telemetry::JournalMode::Off,
         seed: 42,
     }
 }

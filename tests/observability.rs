@@ -4,12 +4,13 @@
 //! live experiment's reaction metric.
 
 use bench::lbtrace::Trace;
+use bench::spans::{error_budget, SpanCapture};
 use experiments::fig3::{run_fig3_aware, Fig3Config};
 use experiments::topology::{KvCluster, KvClusterConfig, VIP};
 use lb_dataplane::LbConfig;
 use lbcore::AlphaShift;
 use netsim::{Duration, Time};
-use telemetry::{journal::parse_ndjson, Journal, JournalMode};
+use telemetry::{journal::parse_ndjson, Journal, JournalEvent, JournalMode, SpanMode};
 
 /// A short Fig. 3 run with the journal recording.
 fn short_cfg(seed: u64) -> Fig3Config {
@@ -158,4 +159,197 @@ fn journal_on_leaves_the_pinned_packet_schedule_untouched() {
         cluster.lb_node().journal().len() > 0,
         "journal was enabled but empty"
     );
+}
+
+/// The pinned fig3 cluster (seed 17, 1 ms injected at t = 300 ms) used
+/// by the trace-hash gates, with span tracing in the given mode.
+fn pinned_cluster(span: SpanMode) -> KvCluster {
+    let lb_factory: Box<dyn FnOnce(Vec<std::net::Ipv4Addr>) -> LbConfig> =
+        Box::new(|backends| LbConfig::latency_aware(VIP, backends, Box::new(AlphaShift::damped())));
+    let mut cfg = KvClusterConfig::fig3_defaults(lb_factory);
+    cfg.seed = 17;
+    let mut cluster = KvCluster::build(cfg);
+    cluster.sim.enable_spans(span);
+    cluster.inject_backend_delay(
+        0,
+        Time::ZERO + Duration::from_millis(300),
+        Duration::from_millis(1),
+    );
+    cluster.sim.enable_trace(1 << 21);
+    cluster
+}
+
+/// Span tracing in Full mode must not move a single packet either: the
+/// same pinned hash as the journal test above (captured with all
+/// observability off), and the run-twice span digests are identical —
+/// the span log is a pure function of the seed.
+#[test]
+fn span_tracing_full_leaves_the_pinned_packet_schedule_untouched() {
+    let digest_of = || {
+        let mut cluster = pinned_cluster(SpanMode::Full(1 << 22));
+        cluster.sim.run_for(Duration::from_millis(600));
+        assert_eq!(
+            fold_trace(&cluster.sim),
+            (0xa0af_927b_c332_dae6, 787_483),
+            "span tracing perturbed the packet schedule",
+        );
+        assert_eq!(cluster.sim.spans().dropped(), 0, "span log overflowed");
+        let mut recs = cluster.sim.take_span_records();
+        assert!(!recs.is_empty(), "tracing was on but recorded nothing");
+        telemetry::span::sort_records(&mut recs);
+        telemetry::span::digest(&recs)
+    };
+    assert_eq!(digest_of(), digest_of(), "span digest not reproducible");
+    // Off mode is the pinned default: the schedule gate for it is the
+    // determinism suite itself, which runs with no span log at all.
+    let mut off = pinned_cluster(SpanMode::Off);
+    off.sim.run_for(Duration::from_millis(600));
+    assert_eq!(fold_trace(&off.sim), (0xa0af_927b_c332_dae6, 787_483));
+    assert!(off.sim.take_span_records().is_empty());
+}
+
+/// Span NDJSON is a pure function of the seed, and different seeds
+/// diverge.
+#[test]
+fn spans_are_a_pure_function_of_the_seed() {
+    let span_cfg = |seed| Fig3Config {
+        span: SpanMode::Full(1 << 22),
+        ..short_cfg(seed)
+    };
+    let a = run_fig3_aware(&span_cfg(42)).spans;
+    let b = run_fig3_aware(&span_cfg(42)).spans;
+    assert!(!a.is_empty(), "span capture came back empty");
+    assert_eq!(a, b, "same seed produced different span bytes");
+    let c = run_fig3_aware(&span_cfg(43)).spans;
+    assert_ne!(a, c, "seed had no effect on the spans");
+}
+
+/// Ground-truth conformance: the span tree's T_client (consume minus
+/// issue) is **bitwise** the latency the client recorder measured, for
+/// every completed request — same instants, same latencies, same
+/// GET/SET mix.
+#[test]
+fn span_derived_t_client_is_bitwise_the_client_recorder() {
+    let mut cluster = pinned_cluster(SpanMode::Full(1 << 22));
+    cluster.sim.run_for(Duration::from_millis(600));
+    let mut recs = cluster.sim.take_span_records();
+    telemetry::span::sort_records(&mut recs);
+    let paths: Vec<_> = telemetry::span::assemble(&recs)
+        .iter()
+        .filter_map(telemetry::span::critical_path)
+        .collect();
+    assert!(paths.len() > 100, "implausibly few critical paths");
+    let mut from_spans: Vec<(u64, u64, bool)> = paths
+        .iter()
+        .map(|p| (p.completed_at, p.t_client, p.is_get))
+        .collect();
+    let mut from_recorder: Vec<(u64, u64, bool)> = cluster.client_app(0).recorder.raw().to_vec();
+    from_spans.sort_unstable();
+    from_recorder.sort_unstable();
+    assert_eq!(
+        from_spans, from_recorder,
+        "span-derived T_client diverged from the client recorder"
+    );
+    // Every critical path decomposes exactly: the six segments sum to
+    // T_client with no residual.
+    for p in &paths {
+        let sum = p.client_to_lb
+            + p.lb_proc
+            + p.lb_to_backend
+            + p.backend_queue
+            + p.backend_service
+            + p.reverse_net;
+        assert_eq!(sum, p.t_client, "segments do not sum for {:#x}", p.trace);
+    }
+}
+
+/// A multi-LB tier with per-shard journals: every shard records its own
+/// capture, each parses independently, and the per-shard summary
+/// (`lbtrace summary FILE FILE...`) reflects each shard's own sample
+/// count — the shard-skew view a merged capture would hide.
+#[test]
+fn multilb_per_shard_journals_parse_and_summarize() {
+    use experiments::multilb::{run_multilb, MultiLbConfig};
+    let cfg = MultiLbConfig {
+        n_lbs: 4,
+        duration: Duration::from_secs(2),
+        inject_at: Duration::from_secs(1),
+        extra: Duration::from_millis(1),
+        bin: Duration::from_millis(500),
+        gossip: None,
+        journal: JournalMode::Full(1 << 20),
+        seed: 42,
+    };
+    let run = run_multilb(&cfg);
+    assert_eq!(run.journals.len(), 4, "one journal per shard");
+    let shards: Vec<Trace> = run
+        .journals
+        .iter()
+        .map(|j| Trace::parse(j).expect("shard journal must parse"))
+        .collect();
+    for (i, shard) in shards.iter().enumerate() {
+        assert!(
+            shard.count_kind("sample") as u64 > 0,
+            "shard {i} journaled no samples"
+        );
+        // The journal agrees with the experiment's own per-shard count.
+        assert_eq!(
+            shard.count_kind("sample") as u64,
+            run.per_lb_samples[i],
+            "shard {i} journal sample count diverged from the experiment"
+        );
+    }
+    let summary = bench::lbtrace::summary_shards(&shards);
+    for i in 0..4 {
+        assert!(summary.contains(&format!("shard {i}:")), "{summary}");
+    }
+    assert!(summary.contains("tier:"), "{summary}");
+}
+
+/// The estimator error budget joins journaled T_LB samples against span
+/// ground truth; every joined sample must reproduce a journal sample
+/// exactly, and every journal sample must be accounted for (joined or
+/// counted unjoined).
+#[test]
+fn error_budget_reproduces_the_journal_samples_it_joins() {
+    let cfg = Fig3Config {
+        span: SpanMode::Full(1 << 22),
+        ..short_cfg(42)
+    };
+    let run = run_fig3_aware(&cfg);
+    let capture = SpanCapture::parse(&run.spans).expect("span capture must parse");
+    let journal = Trace::parse(&run.journal).expect("journal must parse");
+    let budget = error_budget(&capture.critical_paths(), journal.events());
+
+    let mut journal_samples: Vec<(u64, usize, u64)> = journal
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            JournalEvent::Sample {
+                at, backend, t_lb, ..
+            } => Some((*at, *backend, *t_lb)),
+            _ => None,
+        })
+        .collect();
+    assert!(!journal_samples.is_empty(), "run journaled no samples");
+    assert!(!budget.joined.is_empty(), "error budget joined nothing");
+    assert_eq!(
+        budget.joined.len() + budget.unjoined,
+        journal_samples.len(),
+        "samples lost in the join"
+    );
+    // Each joined sample is one of the journal's, verbatim (multiset
+    // inclusion: remove each joined tuple from the journal's pool).
+    journal_samples.sort_unstable();
+    for j in &budget.joined {
+        let tuple = (j.at, j.backend, j.t_lb);
+        let i = journal_samples
+            .binary_search(&tuple)
+            .unwrap_or_else(|_| panic!("joined sample {tuple:?} not in the journal"));
+        journal_samples.remove(i);
+        // The decomposition is internally consistent.
+        assert_eq!(j.error(), j.t_lb as i64 - j.truth() as i64);
+        // The join is causal: the path completed before the sample.
+        assert!(j.path.completed_at <= j.at);
+    }
 }
